@@ -1,0 +1,43 @@
+// Command camtable prints the paper's hardware-model tables: the Table 1
+// survey of commercial load-queue port requirements and the Table 2 CAM
+// search latency/energy grid (CACTI 3.2, 0.09 micron), plus the fitted
+// analytical model's error and the §2.2 cycle-time argument.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"vbmo/internal/energy"
+)
+
+func main() {
+	table := flag.Int("table", 0, "1 | 2 (0 = both)")
+	ghz := flag.Float64("ghz", 5.0, "clock frequency for the fits-in-cycle check")
+	flag.Parse()
+
+	if *table == 0 || *table == 1 {
+		fmt.Print(energy.FormatTable1())
+		fmt.Println()
+	}
+	if *table == 0 || *table == 2 {
+		fmt.Print(energy.FormatTable2())
+		m := energy.DefaultCAMModel()
+		latErr, enErr := m.ModelError()
+		fmt.Printf("\nfitted model mean error: latency %.1f%%, energy %.1f%%\n", latErr*100, enErr*100)
+		cycle := 1.0 / *ghz
+		fmt.Printf("\nat %.1f GHz the cycle is %.3f ns; single-cycle searchable configurations:\n", *ghz, cycle)
+		any := false
+		for _, n := range energy.Table2Entries {
+			for _, p := range energy.Table2Ports {
+				if m.FitsInCycle(n, p, *ghz) {
+					fmt.Printf("  %d entries %s (%.2f ns)\n", n, p, m.Lookup(n, p).LatencyNS)
+					any = true
+				}
+			}
+		}
+		if !any {
+			fmt.Println("  none — the motivating observation of §2.2/§5.2")
+		}
+	}
+}

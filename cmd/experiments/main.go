@@ -1,0 +1,94 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+//	experiments -experiment all          # everything
+//	experiments -experiment fig5         # one figure
+//	experiments -quick                   # reduced budgets
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"vbmo/internal/experiments"
+)
+
+func main() {
+	var (
+		which    = flag.String("experiment", "all", "all | tables | fig5 | fig6 | fig7 | fig8 | squash | power | relatedwork")
+		quick    = flag.Bool("quick", false, "reduced instruction budgets and core counts")
+		cores    = flag.Int("cores", 0, "override MP core count")
+		uniInstr = flag.Uint64("uni", 0, "override uniprocessor instructions")
+		mpInstr  = flag.Uint64("mp", 0, "override per-core MP instructions")
+		samples  = flag.Int("samples", 0, "override MP sample count")
+		works    = flag.String("workloads", "", "comma-separated workload subset")
+		parallel = flag.Bool("parallel", true, "run data points in parallel")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+	if *cores > 0 {
+		cfg.MPCores = *cores
+	}
+	if *uniInstr > 0 {
+		cfg.UniInstr = *uniInstr
+	}
+	if *mpInstr > 0 {
+		cfg.MPInstr = *mpInstr
+	}
+	if *samples > 0 {
+		cfg.Samples = *samples
+	}
+	if *works != "" {
+		cfg.Workloads = strings.Split(*works, ",")
+	}
+	cfg.Parallel = *parallel
+
+	w := os.Stdout
+	start := time.Now()
+
+	needMatrix := map[string]bool{"all": true, "fig5": true, "fig6": true, "fig7": true, "squash": true, "power": true}
+	var m *experiments.Matrix
+	if needMatrix[*which] {
+		fmt.Fprintf(w, "running §5.1 matrix: %d machines × workloads (uni %d instr, %d-way MP %d instr × %d samples)...\n",
+			len(experiments.MachineNames), cfg.UniInstr, cfg.MPCores, cfg.MPInstr, cfg.Samples)
+		m = experiments.Run(cfg, experiments.MachineNames)
+	}
+
+	switch *which {
+	case "all":
+		experiments.Tables(w)
+		experiments.Figure5(w, m)
+		experiments.Figure6(w, m)
+		experiments.Figure7(w, m)
+		experiments.SquashStats(w, m)
+		experiments.Power(w, m)
+		experiments.Figure8(w, cfg)
+		experiments.RelatedWork(w, cfg)
+	case "tables":
+		experiments.Tables(w)
+	case "fig5":
+		experiments.Figure5(w, m)
+	case "fig6":
+		experiments.Figure6(w, m)
+	case "fig7":
+		experiments.Figure7(w, m)
+	case "fig8":
+		experiments.Figure8(w, cfg)
+	case "squash":
+		experiments.SquashStats(w, m)
+	case "power":
+		experiments.Power(w, m)
+	case "relatedwork":
+		experiments.RelatedWork(w, cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *which)
+		os.Exit(1)
+	}
+	fmt.Fprintf(w, "\n[%s elapsed]\n", time.Since(start).Round(time.Millisecond))
+}

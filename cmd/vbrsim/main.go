@@ -1,0 +1,112 @@
+// Command vbrsim runs one workload on one machine configuration and
+// prints its statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"vbmo/internal/config"
+	"vbmo/internal/core"
+	"vbmo/internal/system"
+	"vbmo/internal/workload"
+)
+
+func main() {
+	var (
+		workName = flag.String("workload", "gzip", "workload name (see -list)")
+		machine  = flag.String("machine", "baseline", "baseline | replay-all | no-reorder | no-recent-miss | no-recent-snoop | baseline-lq16 | baseline-lq32 | baseline-insulated | baseline-hybrid | baseline-bloom | baseline-hiersq | replay-vpred")
+		cores    = flag.Int("cores", 1, "number of processors")
+		insts    = flag.Uint64("n", 100000, "instructions to commit per core")
+		seed     = flag.Uint64("seed", 42, "random seed")
+		list     = flag.Bool("list", false, "list workloads and exit")
+		verifySC = flag.Bool("sc", false, "verify sequential consistency with the constraint-graph checker")
+		verbose  = flag.Bool("v", false, "print detailed counters")
+	)
+	flag.Parse()
+	if *list {
+		for _, w := range workload.Catalog() {
+			kind := "uni"
+			if w.Multi {
+				kind = "mp"
+			}
+			fmt.Printf("%-12s %-10s %s\n", w.Name, w.Suite, kind)
+		}
+		return
+	}
+	work, ok := workload.ByName(*workName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workName)
+		os.Exit(1)
+	}
+	var cfg config.Machine
+	switch *machine {
+	case "baseline":
+		cfg = config.Baseline()
+	case "replay-all":
+		cfg = config.Replay(core.ReplayAll)
+	case "no-reorder":
+		cfg = config.Replay(core.NoReorder)
+	case "no-recent-miss":
+		cfg = config.Replay(core.NoRecentMiss)
+	case "no-recent-snoop":
+		cfg = config.Replay(core.NoRecentSnoop)
+	case "baseline-lq16":
+		cfg = config.ConstrainedBaseline(16)
+	case "baseline-lq32":
+		cfg = config.ConstrainedBaseline(32)
+	case "baseline-insulated":
+		cfg = config.InsulatedBaseline()
+	case "baseline-hybrid":
+		cfg = config.HybridBaseline()
+	case "baseline-bloom":
+		cfg = config.BloomBaseline()
+	case "baseline-hiersq":
+		cfg = config.HierSQBaseline()
+	case "replay-vpred":
+		cfg = config.ReplayVP(core.NoRecentSnoop)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown machine %q\n", *machine)
+		os.Exit(1)
+	}
+	opt := system.Options{Cores: *cores, Seed: *seed, DMAInterval: 4000, DMABurst: 2,
+		TrackConsistency: *verifySC}
+	s := system.New(cfg, work, opt)
+	start := time.Now()
+	res := s.Run(*insts, opt)
+	elapsed := time.Since(start)
+	fmt.Println(res)
+	p := res.Pipe
+	fmt.Printf("loads=%d stores=%d branches=%d mispredict=%.4f\n",
+		p.CommittedLoads, p.CommittedStores, p.CommittedBranches,
+		float64(res.Counters.Get("bp.mispredicts"))/float64(max64(1, res.Counters.Get("bp.lookups"))))
+	fmt.Printf("L1D: demand=%d forwarded=%d replay=%d store=%d\n",
+		p.DemandLoadAccesses, p.ForwardedLoads, p.ReplayAccesses, p.StoreAccesses)
+	fmt.Printf("squash: mispred=%d rawLQ=%d invalLQ=%d replayRAW=%d replayCons=%d\n",
+		p.SquashesMispredict, p.SquashesRAW, p.SquashesInval, p.SquashesReplayRAW, p.SquashesReplayCons)
+	fmt.Printf("flags: NUS=%d reordered=%d  ROBavg=%.1f\n",
+		p.LoadsNUSFlagged, p.LoadsReordered, p.AvgROBOccupancy())
+	fmt.Printf("replays/instr=%.4f  sim-speed=%.0f inst/s\n",
+		float64(p.ReplayAccesses)/float64(p.Committed),
+		float64(p.Committed)/elapsed.Seconds())
+	if *verifySC {
+		op, cyc, g := s.CheckSC()
+		if cyc {
+			fmt.Printf("SC VIOLATION: %s at proc %d op %d addr %#x\n", g, op.Proc, op.Index, op.Addr)
+			os.Exit(2)
+		}
+		fmt.Printf("sequentially consistent ✓ (%s)\n", g)
+	}
+	if *verbose {
+		fmt.Print(res.Counters)
+	}
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,89 @@
+// Multiprocessor demonstration: run a SPLASH-2-like shared-memory
+// workload on several processors under the no-recent-snoop replay
+// configuration, verify the committed execution is sequentially
+// consistent with the constraint-graph checker (paper §3.1, Figure 4),
+// and show the filter's external-event window at work.
+//
+//	go run ./examples/multiprocessor
+package main
+
+import (
+	"fmt"
+
+	"vbmo/internal/config"
+	"vbmo/internal/core"
+	"vbmo/internal/system"
+	"vbmo/internal/workload"
+)
+
+func main() {
+	work, _ := workload.ByName("radiosity")
+	opt := system.Options{
+		Cores:            4,
+		Seed:             2026,
+		DMAInterval:      4000,
+		DMABurst:         2,
+		TrackConsistency: true, // record provenance for the SC checker
+	}
+
+	cfg := config.Replay(core.NoRecentSnoop)
+	s := system.New(cfg, work, opt)
+	res := s.Run(10_000, opt)
+
+	fmt.Printf("%d-way MP, %s on %s\n", opt.Cores, res.Machine, res.Workload)
+	fmt.Printf("aggregate committed: %d, mean IPC %.3f, cycles %d\n\n",
+		res.Pipe.Committed, res.IPC, res.Cycles)
+
+	for i, c := range s.Cores {
+		eng := c.Engine()
+		hs := c.Hierarchy().Stats
+		fmt.Printf("core %d: loads=%d replays=%d (%.1f%%) snoop-events=%d remote-fills=%d cons-squash=%d\n",
+			i, c.Stats.CommittedLoads, eng.Stats.Replays,
+			100*float64(eng.Stats.Replays)/float64(max(1, eng.Stats.LoadsSeen)),
+			eng.Stats.WindowEvents, hs.RemoteFills,
+			c.Stats.SquashesReplayCons)
+	}
+
+	// The back-end consistency checker: build the constraint graph over
+	// every committed memory operation and test it for a cycle. An
+	// acyclic graph proves this execution has a total order — it is
+	// (value-)sequentially consistent.
+	op, cyclic, g := s.CheckSC()
+	fmt.Printf("\n%s\n", g)
+	if cyclic {
+		fmt.Printf("VIOLATION at proc %d op %d addr %#x — this must never happen "+
+			"with a sound filter configuration\n", op.Proc, op.Index, op.Addr)
+	} else {
+		fmt.Println("execution verified sequentially consistent ✓")
+	}
+
+	// Contrast: the deliberately mis-composed NUS-only filter (paper
+	// §3.3 explains why the RAW filter alone is unsound in
+	// multiprocessors). Under contention it eventually commits a stale
+	// value and the checker catches it.
+	fmt.Println("\nhunting for a violation with the unsound NUS-only filter...")
+	hot := work
+	hot.SharedFrac = 0.5
+	hot.HotFrac = 0.9
+	hot.FalseSharing = 0
+	for seed := uint64(1); seed <= 10; seed++ {
+		o := opt
+		o.Seed = seed
+		s2 := system.New(config.Replay(core.NUSOnly), hot, o)
+		s2.Run(5_000, o)
+		if op2, cyc, _ := s2.CheckSC(); cyc {
+			fmt.Printf("seed %d: SC violation detected at proc %d op %d addr %#x "+
+				"— the consistency filters are not optional\n",
+				seed, op2.Proc, op2.Index, op2.Addr)
+			return
+		}
+	}
+	fmt.Println("no violation surfaced in 10 seeds (contention-dependent)")
+}
+
+func max(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

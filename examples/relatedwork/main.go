@@ -1,0 +1,21 @@
+// Related-work comparison (paper §1): run the augmentative load/store
+// queue alternatives the paper's introduction surveys — Bloom-filtered
+// load-queue searches (Sethumadhavan et al.), the hierarchical store
+// queue (Akkary et al.), the Alpha-style insulated and Power4-style
+// hybrid queues — alongside value-based replay, on the same workloads.
+//
+//	go run ./examples/relatedwork
+package main
+
+import (
+	"os"
+
+	"vbmo/internal/experiments"
+)
+
+func main() {
+	cfg := experiments.QuickConfig()
+	cfg.UniInstr = 30000
+	cfg.Workloads = []string{"gzip", "gcc", "vortex", "tpcb", "apsi"}
+	experiments.RelatedWork(os.Stdout, cfg)
+}

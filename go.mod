@@ -1,0 +1,3 @@
+module vbmo
+
+go 1.22

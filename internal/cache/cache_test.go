@@ -1,0 +1,383 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func small() Config { return Config{Size: 1024, Ways: 2, Latency: 1} } // 8 sets
+
+func TestArrayHitMiss(t *testing.T) {
+	a := NewArray(small())
+	if a.Lookup(0x100) {
+		t.Error("cold cache should miss")
+	}
+	a.Insert(0x100)
+	if !a.Lookup(0x100) {
+		t.Error("inserted block should hit")
+	}
+	if !a.Lookup(0x13f) {
+		t.Error("same block, different offset should hit")
+	}
+	if a.Lookup(0x140) {
+		t.Error("adjacent block should miss")
+	}
+}
+
+func TestArrayLRUEviction(t *testing.T) {
+	a := NewArray(small()) // 2 ways, 8 sets; set stride = 8*64 = 512
+	// Three conflicting blocks in one set.
+	b0, b1, b2 := uint64(0x0), uint64(0x200), uint64(0x400)
+	a.Insert(b0)
+	a.Insert(b1)
+	a.Lookup(b0) // b0 now MRU
+	victim, ev := a.Insert(b2)
+	if !ev || victim != b1 {
+		t.Errorf("expected b1 evicted, got %#x (evicted=%v)", victim, ev)
+	}
+	if !a.Contains(b0) || a.Contains(b1) || !a.Contains(b2) {
+		t.Error("wrong post-eviction contents")
+	}
+}
+
+func TestArrayInsertExistingRefreshes(t *testing.T) {
+	a := NewArray(small())
+	a.Insert(0x0)
+	a.Insert(0x200)
+	a.Insert(0x0) // refresh: should not evict, should make 0x0 MRU
+	victim, ev := a.Insert(0x400)
+	if !ev || victim != 0x200 {
+		t.Errorf("refresh did not update LRU: victim %#x", victim)
+	}
+}
+
+func TestArrayInvalidate(t *testing.T) {
+	a := NewArray(small())
+	a.Insert(0x100)
+	if !a.Invalidate(0x100) {
+		t.Error("invalidate of present block should report true")
+	}
+	if a.Invalidate(0x100) {
+		t.Error("double invalidate should report false")
+	}
+	if a.Contains(0x100) {
+		t.Error("invalidated block still present")
+	}
+}
+
+func TestArrayMissRate(t *testing.T) {
+	a := NewArray(small())
+	a.Lookup(0x100) // miss
+	a.Insert(0x100)
+	a.Lookup(0x100) // hit
+	if r := a.MissRate(); r != 0.5 {
+		t.Errorf("MissRate = %v, want 0.5", r)
+	}
+	if (NewArray(small())).MissRate() != 0 {
+		t.Error("empty array miss rate should be 0")
+	}
+}
+
+func TestArrayContainsProperty(t *testing.T) {
+	a := NewArray(Config{Size: 4096, Ways: 4, Latency: 1})
+	err := quick.Check(func(addr uint64) bool {
+		a.Insert(addr)
+		return a.Contains(addr) && a.Lookup(addr)
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two set count should panic")
+		}
+	}()
+	NewArray(Config{Size: 3 * 64, Ways: 1, Latency: 1})
+}
+
+func TestStridePrefetcher(t *testing.T) {
+	p := NewStridePrefetcher(16)
+	pc := uint64(0x40)
+	// Unit-block stride: 0, 64, 128 -> confidence builds, 192 predicted.
+	var got uint64
+	var ok bool
+	for _, addr := range []uint64{0, 64, 128, 192} {
+		got, ok = p.Observe(pc, addr)
+		_ = got
+	}
+	if !ok {
+		t.Fatal("steady stride should trigger prefetch")
+	}
+	if got != 256 {
+		t.Errorf("prefetch = %#x, want 0x100", got)
+	}
+}
+
+func TestStridePrefetcherSubBlockStride(t *testing.T) {
+	p := NewStridePrefetcher(16)
+	pc := uint64(0x44)
+	var got uint64
+	var ok bool
+	for _, addr := range []uint64{1000, 1008, 1016, 1024, 1032} {
+		got, ok = p.Observe(pc, addr)
+	}
+	if !ok {
+		t.Fatal("word-stride walk should trigger prefetch")
+	}
+	if got != BlockAddr(1032)+BlockSize {
+		t.Errorf("sub-block stride should predict next block, got %#x", got)
+	}
+}
+
+func TestStridePrefetcherRandomNoPrefetch(t *testing.T) {
+	p := NewStridePrefetcher(16)
+	pc := uint64(0x48)
+	addrs := []uint64{100, 9000, 377, 51234, 777}
+	fired := 0
+	for _, a := range addrs {
+		if _, ok := p.Observe(pc, a); ok {
+			fired++
+		}
+	}
+	if fired != 0 {
+		t.Errorf("random addresses triggered %d prefetches", fired)
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	h := NewHierarchy(0, DefaultHierConfig(), MemoryBackend{Latency: 400})
+	r := h.Read(0x40, 0x10000, 0)
+	if r.Source != SrcMemory || r.Latency < 400 {
+		t.Errorf("cold read: %+v", r)
+	}
+	r = h.Read(0x40, 0x10000, 1000)
+	if r.Source != SrcL1 || r.Latency != 1 {
+		t.Errorf("warm read: %+v", r)
+	}
+}
+
+func TestHierarchyMSHRMerge(t *testing.T) {
+	cfg := DefaultHierConfig()
+	cfg.PrefetchEntries = 0
+	h := NewHierarchy(0, cfg, MemoryBackend{Latency: 400})
+	r1 := h.Read(0x40, 0x20000, 0)
+	// A second access to the same block 10 cycles later, while the miss
+	// is outstanding, merges and waits out the remainder.
+	r2 := h.Read(0x44, 0x20008, 10)
+	if r2.Source != SrcL1 && r2.Source != SrcMSHR {
+		t.Errorf("merge source = %v", r2.Source)
+	}
+	if r2.Source == SrcMSHR && r2.Latency != r1.Latency-10 {
+		t.Errorf("merge latency = %d, want %d", r2.Latency, r1.Latency-10)
+	}
+}
+
+func TestHierarchyInclusionOnL3Eviction(t *testing.T) {
+	// Tiny hierarchy: L3 barely bigger than L1 so evictions happen.
+	cfg := HierConfig{
+		L1I: Config{Size: 1024, Ways: 1, Latency: 1},
+		L1D: Config{Size: 1024, Ways: 1, Latency: 1},
+		L2:  Config{Size: 2048, Ways: 2, Latency: 7},
+		L3:  Config{Size: 4096, Ways: 2, Latency: 15},
+	}
+	h := NewHierarchy(0, cfg, MemoryBackend{Latency: 100})
+	var evicted []uint64
+	h.OnL3Evict = func(b uint64) { evicted = append(evicted, b) }
+	// Touch many conflicting blocks to force L3 evictions.
+	for i := 0; i < 64; i++ {
+		h.Read(0x40, uint64(i)*4096, int64(i)*1000)
+	}
+	if len(evicted) == 0 {
+		t.Fatal("no L3 evictions observed")
+	}
+	// Inclusion: every evicted block must be gone from L1D.
+	for _, b := range evicted {
+		if h.L1DContains(b) {
+			t.Errorf("block %#x evicted from L3 but still in L1D", b)
+		}
+	}
+}
+
+func TestHierarchyPrefetchStreams(t *testing.T) {
+	h := NewHierarchy(0, DefaultHierConfig(), MemoryBackend{Latency: 400})
+	pc := uint64(0x80)
+	// Stream through blocks; after warmup the prefetcher should cover
+	// upcoming blocks, so late-stream reads hit.
+	misses := 0
+	for i := 0; i < 64; i++ {
+		addr := 0x100000 + uint64(i)*64
+		r := h.Read(pc, addr, int64(i)*500)
+		if i > 8 && r.Source != SrcL1 {
+			misses++
+		}
+	}
+	if misses > 4 {
+		t.Errorf("stream had %d post-warmup misses; prefetcher ineffective", misses)
+	}
+	if h.Stats.Prefetches == 0 {
+		t.Error("no prefetches issued")
+	}
+}
+
+func TestHierarchySnoopInvalidate(t *testing.T) {
+	h := NewHierarchy(0, DefaultHierConfig(), MemoryBackend{Latency: 400})
+	h.Read(0x40, 0x30000, 0)
+	if !h.SnoopInvalidate(0x30000) {
+		t.Error("snoop of present block should hit")
+	}
+	if h.L1DContains(0x30000) {
+		t.Error("snooped block still in L1D")
+	}
+	if h.SnoopInvalidate(0x99000) {
+		t.Error("snoop of absent block should be filtered")
+	}
+	if h.Stats.SnoopInvalidations != 1 || h.Stats.SnoopMisses != 1 {
+		t.Errorf("snoop stats wrong: %+v", h.Stats)
+	}
+}
+
+func TestHierarchyWriteUpgrade(t *testing.T) {
+	h := NewHierarchy(0, DefaultHierConfig(), MemoryBackend{Latency: 400})
+	r := h.Write(0x40000, 0)
+	if r.Latency < 400 {
+		t.Errorf("cold write should miss to memory: %+v", r)
+	}
+	r = h.Write(0x40000, 500)
+	if r.Latency != 1 {
+		t.Errorf("owned write should be L1 latency: %+v", r)
+	}
+}
+
+func TestInstrFetch(t *testing.T) {
+	h := NewHierarchy(0, DefaultHierConfig(), MemoryBackend{Latency: 400})
+	r := h.InstrFetch(0x10000)
+	if r.Latency <= 1 {
+		t.Errorf("cold ifetch should miss: %+v", r)
+	}
+	r = h.InstrFetch(0x10004)
+	if r.Latency != 1 {
+		t.Errorf("warm ifetch should hit: %+v", r)
+	}
+	if h.Stats.InstrFetches != 2 || h.Stats.InstrMisses != 1 {
+		t.Errorf("ifetch stats: %+v", h.Stats)
+	}
+}
+
+func TestSourceString(t *testing.T) {
+	for s := SrcL1; s <= SrcMSHR; s++ {
+		if s.String() == "?" {
+			t.Errorf("source %d unnamed", s)
+		}
+	}
+}
+
+func TestInclusionPropertyUnderRandomTraffic(t *testing.T) {
+	// Inclusion invariant: any block in L1D is also in L2 and L3,
+	// across arbitrary interleavings of reads, writes and snoops.
+	cfg := HierConfig{
+		L1I: Config{Size: 1024, Ways: 1, Latency: 1},
+		L1D: Config{Size: 1024, Ways: 2, Latency: 1},
+		L2:  Config{Size: 4096, Ways: 2, Latency: 7},
+		L3:  Config{Size: 8192, Ways: 2, Latency: 15},
+	}
+	h := NewHierarchy(0, cfg, MemoryBackend{Latency: 50})
+	touched := map[uint64]bool{}
+	rng := uint64(12345)
+	next := func(n uint64) uint64 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return (rng >> 33) % n
+	}
+	for i := 0; i < 4000; i++ {
+		addr := next(256) * 64
+		switch next(4) {
+		case 0, 1:
+			h.Read(0x40, addr, int64(i)*100)
+		case 2:
+			h.Write(addr, int64(i)*100)
+		case 3:
+			h.SnoopInvalidate(addr)
+		}
+		touched[addr] = true
+		if i%64 == 0 {
+			for a := range touched {
+				if h.l1d.Contains(a) && (!h.l2.Contains(a) || !h.l3.Contains(a)) {
+					t.Fatalf("inclusion violated for %#x at step %d", a, i)
+				}
+				if h.l2.Contains(a) && !h.l3.Contains(a) {
+					t.Fatalf("L2⊆L3 violated for %#x at step %d", a, i)
+				}
+			}
+		}
+	}
+}
+
+func TestTLBHitMissAndLRU(t *testing.T) {
+	tlb := NewTLB(8, 2, 30) // 4 sets × 2 ways
+	if lat := tlb.Translate(0x1000); lat != 30 {
+		t.Errorf("cold translation latency = %d, want 30", lat)
+	}
+	if lat := tlb.Translate(0x1008); lat != 0 {
+		t.Errorf("same-page hit latency = %d", lat)
+	}
+	// Three pages in one set (stride = sets × pagesize = 4×4096).
+	p0, p1, p2 := uint64(0), uint64(4*4096), uint64(8*4096)
+	tlb.Translate(p0)
+	tlb.Translate(p1)
+	tlb.Translate(p0) // p0 MRU
+	if lat := tlb.Translate(p2); lat != 30 {
+		t.Fatalf("conflict miss expected")
+	}
+	if lat := tlb.Translate(p0); lat != 0 {
+		t.Error("MRU page evicted")
+	}
+	if lat := tlb.Translate(p1); lat != 30 {
+		t.Errorf("LRU page should have been the victim (lat=%d)", lat)
+	}
+	if tlb.MissRate() <= 0 || tlb.MissRate() >= 1 {
+		t.Errorf("MissRate = %v", tlb.MissRate())
+	}
+}
+
+func TestTLBBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	NewTLB(12, 4, 30) // 3 sets: not a power of two
+}
+
+func TestReplayReadSkipsTLB(t *testing.T) {
+	// The paper §3: replay accesses reuse the premature translation.
+	h := NewHierarchy(0, DefaultHierConfig(), MemoryBackend{Latency: 400})
+	h.Read(0x40, 0x100000, 0)
+	demand := h.DataTLB().Accesses
+	h.ReadReplay(0x100000, 100)
+	h.ReadReplay(0x200000, 200) // even a new page: no translation
+	if h.DataTLB().Accesses != demand {
+		t.Errorf("replay accesses translated: %d -> %d", demand, h.DataTLB().Accesses)
+	}
+}
+
+func TestDemandReadPaysTLBWalk(t *testing.T) {
+	cfg := DefaultHierConfig()
+	cfg.PrefetchEntries = 0
+	h := NewHierarchy(0, cfg, MemoryBackend{Latency: 400})
+	// Warm the cache block, then invalidate the TLB's view by touching
+	// many distinct pages mapping to every set.
+	h.Read(0x40, 0x100000, 0)
+	r := h.Read(0x40, 0x100000, 1000)
+	if r.Latency != cfg.L1D.Latency {
+		t.Fatalf("warm read should be L1 + TLB hit: %+v", r)
+	}
+	for i := 1; i <= 4096; i++ {
+		h.Read(0x40, 0x100000+uint64(i)<<PageShift, int64(1000+i*500))
+	}
+	r = h.Read(0x40, 0x100000, 9_000_000)
+	if r.Latency < cfg.TLBWalkLatency {
+		t.Errorf("TLB-cold read should pay the walk: %+v", r)
+	}
+}

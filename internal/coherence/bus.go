@@ -1,0 +1,230 @@
+// Package coherence implements the multiprocessor memory-system
+// substrate: an invalidation-based MESI-style protocol over a
+// Gigaplane-XB-like interconnect (the paper's 16-way SMP configuration:
+// +32 cycle address latency, +20 cycle data latency), plus a coherent
+// DMA agent standing in for the paper's cache-coherent memory-mapped
+// I/O devices.
+//
+// The protocol is tracked with an exact-owner / over-approximate-sharer
+// directory, which is behaviorally equivalent to a snoopy broadcast bus
+// whose probes are filtered by each core's inclusive L3: probes of cores
+// that no longer hold a copy return silently, and only probes that hit
+// deliver an "invalidation observed" signal to the core (the input of
+// snooping load queues and of the no-recent-snoop filter).
+package coherence
+
+// Interconnect latency adders (paper §4).
+const (
+	// AddrLatency is the extra latency of an address message.
+	AddrLatency = 32
+	// DataLatency is the extra latency of a data message.
+	DataLatency = 20
+)
+
+// Peer is one core's cache hierarchy as seen by the bus.
+// *cache.Hierarchy implements it.
+type Peer interface {
+	// SnoopInvalidate purges the block locally; reports presence.
+	SnoopInvalidate(block uint64) bool
+	// SnoopSharedProbe reports local presence without state change.
+	SnoopSharedProbe(block uint64) bool
+}
+
+const (
+	ownerNone = -1
+)
+
+type entry struct {
+	owner   int // core holding the block M/E, or ownerNone
+	sharers uint32
+}
+
+// Stats counts bus-level events.
+type Stats struct {
+	Reads, ReadsRemote   uint64
+	Upgrades, Exclusives uint64
+	Invalidations        uint64 // invalidation probes delivered (hit a peer)
+	FilteredProbes       uint64 // probes absorbed by inclusive hierarchies
+	DMAWrites            uint64
+}
+
+// Bus is the shared interconnect + directory. It implements the cache
+// package's Backend interface.
+type Bus struct {
+	peers []Peer
+	onInv []func(block uint64)
+	dir   map[uint64]entry
+	dma   map[uint64]bool // blocks last written by the DMA agent
+	// lastWriter remembers the last agent that gained write ownership
+	// of a block (DMA uses dmaWriter). A fill is "externally sourced"
+	// whenever the block was last written by a different agent — even
+	// if the data physically arrives from memory after a castout. This
+	// is what makes the no-recent-miss filter sound: any fill that can
+	// carry another agent's data is flagged.
+	lastWriter map[uint64]int
+	memLat     int
+	// RemoteLat is the cache-to-cache transfer latency.
+	remoteLat int
+	Stats     Stats
+}
+
+// NewBus creates a bus for n cores with the given memory latency.
+func NewBus(n, memLatency int) *Bus {
+	return &Bus{
+		peers:      make([]Peer, n),
+		onInv:      make([]func(uint64), n),
+		dir:        make(map[uint64]entry),
+		dma:        make(map[uint64]bool),
+		lastWriter: make(map[uint64]int),
+		memLat:     memLatency,
+		remoteLat:  AddrLatency + DataLatency + 15,
+	}
+}
+
+// AttachPeer registers core's cache hierarchy.
+func (b *Bus) AttachPeer(core int, p Peer) { b.peers[core] = p }
+
+// OnInvalidation registers the callback invoked when core observes an
+// external invalidation that hits its hierarchy (snooping load queues
+// and the no-recent-snoop filter consume this).
+func (b *Bus) OnInvalidation(core int, fn func(block uint64)) { b.onInv[core] = fn }
+
+// Cores returns the number of attached cores.
+func (b *Bus) Cores() int { return len(b.peers) }
+
+// FetchRead implements cache.Backend: core obtains a readable copy.
+func (b *Bus) FetchRead(core int, block uint64) (int, bool) {
+	b.Stats.Reads++
+	e, existed := b.dir[block]
+	if !existed {
+		e = entry{owner: ownerNone}
+	}
+	external := false
+	lat := b.memLat + AddrLatency + DataLatency
+	if len(b.peers) == 1 {
+		lat = b.memLat
+	}
+	if e.owner != ownerNone && e.owner != core {
+		// Cache-to-cache transfer from the modified owner.
+		if b.peers[e.owner] == nil || b.peers[e.owner].SnoopSharedProbe(block) {
+			external = true
+			lat = b.remoteLat
+			b.Stats.ReadsRemote++
+		}
+		e.sharers |= 1 << uint(e.owner)
+		e.owner = ownerNone
+	}
+	if b.dma[block] {
+		// Block most recently produced by the DMA agent: the fill is
+		// externally sourced.
+		external = true
+		lat = b.remoteLat
+		delete(b.dma, block)
+	}
+	if lw, ok := b.lastWriter[block]; ok && lw != core {
+		// The block's last writer was another agent; even a memory
+		// fill (post-castout) carries foreign data.
+		external = true
+	}
+	e.sharers |= 1 << uint(core)
+	b.dir[block] = e
+	return lat, external
+}
+
+// FetchExclusive implements cache.Backend: core gains write ownership,
+// invalidating all other holders. Each peer whose hierarchy still held
+// the block receives an invalidation-observed signal.
+func (b *Bus) FetchExclusive(core int, block uint64) (int, bool) {
+	b.Stats.Exclusives++
+	e, existed := b.dir[block]
+	if !existed {
+		e = entry{owner: ownerNone}
+	}
+	external := false
+	hadRemoteCopy := false
+	for c := range b.peers {
+		if c == core {
+			continue
+		}
+		if e.sharers&(1<<uint(c)) == 0 && e.owner != c {
+			continue
+		}
+		hadRemoteCopy = true
+		if c == e.owner {
+			external = true
+		}
+		b.probeInvalidate(c, block)
+	}
+	if b.dma[block] {
+		external = true
+		delete(b.dma, block)
+	}
+	if lw, ok := b.lastWriter[block]; ok && lw != core {
+		external = true
+	}
+	var lat int
+	switch {
+	case e.owner == core:
+		lat = 0
+	case external:
+		lat = b.remoteLat
+	case hadRemoteCopy || e.sharers&(1<<uint(core)) != 0:
+		// Upgrade of a shared copy: address message only.
+		lat = AddrLatency
+		if len(b.peers) == 1 {
+			lat = 0
+		}
+		b.Stats.Upgrades++
+	default:
+		lat = b.memLat + AddrLatency + DataLatency
+		if len(b.peers) == 1 {
+			lat = b.memLat
+		}
+	}
+	b.dir[block] = entry{owner: core, sharers: 1 << uint(core)}
+	b.lastWriter[block] = core
+	return lat, external
+}
+
+func (b *Bus) probeInvalidate(core int, block uint64) {
+	p := b.peers[core]
+	hit := false
+	if p != nil {
+		hit = p.SnoopInvalidate(block)
+	}
+	if hit {
+		b.Stats.Invalidations++
+		if fn := b.onInv[core]; fn != nil {
+			fn(block)
+		}
+	} else {
+		b.Stats.FilteredProbes++
+	}
+}
+
+// StillExclusive implements cache.Backend.
+func (b *Bus) StillExclusive(core int, block uint64) bool {
+	e, ok := b.dir[block]
+	return ok && e.owner == core
+}
+
+// DMAWrite records a coherent DMA write to block: all cached copies are
+// invalidated and the block is marked externally produced, so the next
+// processor fill is an external-source fill.
+func (b *Bus) DMAWrite(block uint64) {
+	b.Stats.DMAWrites++
+	e, ok := b.dir[block]
+	if ok {
+		for c := range b.peers {
+			if e.sharers&(1<<uint(c)) != 0 || e.owner == c {
+				b.probeInvalidate(c, block)
+			}
+		}
+	}
+	b.dir[block] = entry{owner: ownerNone}
+	b.dma[block] = true
+	b.lastWriter[block] = dmaWriterID
+}
+
+// dmaWriterID is the lastWriter id used for the DMA agent.
+const dmaWriterID = -2

@@ -1,0 +1,296 @@
+package consistency
+
+import "fmt"
+
+// OpKind distinguishes loads from stores.
+type OpKind int
+
+const (
+	// OpLoad is a committed load.
+	OpLoad OpKind = iota
+	// OpStore is a committed store.
+	OpStore
+)
+
+// Op is one committed memory operation.
+type Op struct {
+	Proc  int
+	Index int // program (commit) order within Proc
+	Kind  OpKind
+	Addr  uint64
+	// Value is the value read (loads) or written (stores).
+	Value uint64
+	// Self identifies this op when it is a store.
+	Self Writer
+	// ReadsFrom identifies the store a load observed (InitialValue for
+	// background memory).
+	ReadsFrom Writer
+}
+
+// Graph is the constraint graph: one node per operation, directed edges
+// for program order, RAW (store → its readers), WAW (store version
+// order), and WAR (reader → next version).
+//
+// The dependence edges are *value-aware*: a load that read value x is
+// constrained only by version transitions that change the value. A run
+// of stores all writing x (silent stores — Lepak & Lipasti's store
+// value locality) leaves the load free to order anywhere within the
+// run. This makes the checker verify value sequential consistency,
+// which is exactly the guarantee value-based replay provides: the paper
+// §2.1 observes that address-identity-based orderings are conservative
+// precisely because of silent stores and false sharing.
+type Graph struct {
+	ops   []Op
+	adj   [][]int32
+	nodes map[Writer]int32 // store writer -> node
+	// EdgeCount is the total number of edges.
+	EdgeCount int
+}
+
+// Build constructs the constraint graph from per-processor committed
+// operation streams, the per-word store version chains (coherence
+// order, with values), and the background content function for
+// never-written words.
+func Build(procs [][]Op, chains map[uint64][]Versioned, background func(addr uint64) uint64) *Graph {
+	g := &Graph{nodes: make(map[Writer]int32)}
+	for _, stream := range procs {
+		g.ops = append(g.ops, stream...)
+	}
+	g.adj = make([][]int32, len(g.ops))
+	for i, op := range g.ops {
+		if op.Kind == OpStore {
+			g.nodes[op.Self] = int32(i)
+		}
+	}
+	add := func(from, to int32) {
+		if from == to {
+			return
+		}
+		g.adj[from] = append(g.adj[from], to)
+		g.EdgeCount++
+	}
+	// Program order edges.
+	base := 0
+	for _, stream := range procs {
+		for i := 1; i < len(stream); i++ {
+			add(int32(base+i-1), int32(base+i))
+		}
+		base += len(stream)
+	}
+
+	// Group readers by (addr, writer) for the per-location passes.
+	type key struct {
+		addr uint64
+		w    Writer
+	}
+	readers := make(map[key][]int32)
+	for i, op := range g.ops {
+		if op.Kind == OpLoad {
+			readers[key{op.Addr, op.ReadsFrom}] = append(readers[key{op.Addr, op.ReadsFrom}], int32(i))
+		}
+	}
+
+	for addr, chain := range chains {
+		// Position of each writer in the chain.
+		pos := make(map[Writer]int, len(chain))
+		for i, v := range chain {
+			pos[v.W] = i
+		}
+		bg := uint64(0)
+		if background != nil {
+			bg = background(addr)
+		}
+
+		// WAW: the coherence (commit) order of stores is real machine
+		// order, so it is kept strict.
+		prev := int32(-1)
+		prevValid := false
+		for _, v := range chain {
+			node, ok := g.nodes[v.W]
+			if !ok {
+				// Writer outside the recorded streams (e.g. DMA).
+				prevValid = false
+				continue
+			}
+			if prevValid {
+				add(prev, node)
+			}
+			prev, prevValid = node, true
+		}
+
+		// RAW and WAR, value-aware. For a load of value x attributed to
+		// version k (k = -1 for the initial value):
+		//   - it must follow the version transition that established x:
+		//     the first store of the maximal run of x-valued versions
+		//     containing k (no edge if the run extends to the initial
+		//     background value);
+		//   - it must precede the first later version whose value
+		//     differs from x.
+		attach := func(loads []int32, k int) {
+			for _, ld := range loads {
+				x := g.ops[ld].Value
+				// Scan left to find the run start.
+				e := k
+				for e >= 0 && chain[e].Value == x {
+					e--
+				}
+				runStart := e + 1
+				if runStart <= k {
+					if !(runStart == 0 && bg == x) {
+						if n, ok := g.nodes[chain[runStart].W]; ok {
+							add(n, ld) // RAW (value transition → load)
+						}
+					}
+				}
+				// Scan right for the first differing version.
+				j := k + 1
+				for j < len(chain) && chain[j].Value == x {
+					j++
+				}
+				if j < len(chain) {
+					if n, ok := g.nodes[chain[j].W]; ok {
+						add(ld, n) // WAR (load → next value transition)
+					}
+				}
+			}
+		}
+		attach(readers[key{addr, InitialValue}], -1)
+		for w, k := range pos {
+			attach(readers[key{addr, w}], k)
+		}
+	}
+	return g
+}
+
+// FindCycle reports whether the graph has a cycle, returning one node
+// on it for diagnostics.
+func (g *Graph) FindCycle() (Op, bool) {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]byte, len(g.ops))
+	type frame struct {
+		node int32
+		next int
+	}
+	for start := range g.ops {
+		if color[start] != white {
+			continue
+		}
+		stack := []frame{{node: int32(start)}}
+		color[start] = gray
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next < len(g.adj[f.node]) {
+				to := g.adj[f.node][f.next]
+				f.next++
+				switch color[to] {
+				case gray:
+					return g.ops[to], true
+				case white:
+					color[to] = gray
+					stack = append(stack, frame{node: to})
+				}
+				continue
+			}
+			color[f.node] = black
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return Op{}, false
+}
+
+// FindCyclePath returns the operations on one cycle (in order), or nil
+// when the graph is acyclic. Slower than FindCycle; intended for
+// diagnostics.
+func (g *Graph) FindCyclePath() []Op {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]byte, len(g.ops))
+	type frame struct {
+		node int32
+		next int
+	}
+	for start := range g.ops {
+		if color[start] != white {
+			continue
+		}
+		stack := []frame{{node: int32(start)}}
+		color[start] = gray
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next < len(g.adj[f.node]) {
+				to := g.adj[f.node][f.next]
+				f.next++
+				switch color[to] {
+				case gray:
+					// Unwind the stack back to `to` to extract the cycle.
+					var cyc []Op
+					for i := range stack {
+						if stack[i].node == to {
+							for _, fr := range stack[i:] {
+								cyc = append(cyc, g.ops[fr.node])
+							}
+							return cyc
+						}
+					}
+					return []Op{g.ops[to]}
+				case white:
+					color[to] = gray
+					stack = append(stack, frame{node: to})
+				}
+				continue
+			}
+			color[f.node] = black
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return nil
+}
+
+// Nodes returns the number of operations in the graph.
+func (g *Graph) Nodes() int { return len(g.ops) }
+
+// String summarizes the graph.
+func (g *Graph) String() string {
+	return fmt.Sprintf("constraint graph: %d nodes, %d edges", len(g.ops), g.EdgeCount)
+}
+
+// BuildPerLocation constructs one constraint graph per memory location,
+// with program order restricted to same-address operations. An acyclic
+// result verifies cache coherence (per-location sequential
+// consistency) — the guarantee the paper's *insulated* and *hybrid*
+// load queues provide on weakly-ordered machines (§2.1: "an insulated
+// load buffer ... order[s] those instructions that read the same
+// address"), as opposed to the full sequential consistency the
+// snooping queue and the composed replay filters enforce.
+func BuildPerLocation(procs [][]Op, chains map[uint64][]Versioned, background func(addr uint64) uint64) *Graph {
+	// Split each processor's stream into per-address streams; indices
+	// are re-assigned within each stream, preserving relative order.
+	type key struct {
+		proc int
+		addr uint64
+	}
+	split := make(map[key][]Op)
+	var order []key
+	for p, stream := range procs {
+		for _, op := range stream {
+			k := key{p, op.Addr}
+			if _, ok := split[k]; !ok {
+				order = append(order, k)
+			}
+			op.Index = len(split[k])
+			split[k] = append(split[k], op)
+		}
+	}
+	streams := make([][]Op, 0, len(order))
+	for _, k := range order {
+		streams = append(streams, split[k])
+	}
+	return Build(streams, chains, background)
+}

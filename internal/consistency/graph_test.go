@@ -1,0 +1,266 @@
+package consistency
+
+import "testing"
+
+func TestWriterPacking(t *testing.T) {
+	w := MakeWriter(5, 123)
+	if w.Proc() != 5 || w.StoreSeq() != 123 {
+		t.Errorf("roundtrip failed: proc=%d seq=%d", w.Proc(), w.StoreSeq())
+	}
+	if InitialValue.Proc() != -1 {
+		t.Errorf("initial value proc = %d", InitialValue.Proc())
+	}
+	d := MakeWriter(DMAProc, 9)
+	if d.Proc() != DMAProc {
+		t.Errorf("DMA proc = %d", d.Proc())
+	}
+}
+
+func TestShadow(t *testing.T) {
+	s := NewShadow(true)
+	if s.Read(0x100) != InitialValue {
+		t.Error("unwritten word should read initial value")
+	}
+	w1 := MakeWriter(0, 0)
+	w2 := MakeWriter(1, 0)
+	s.Write(0x100, w1, 10)
+	s.Write(0x100, w2, 20)
+	s.Write(0x104, w1, 30) // same word as 0x100
+	if s.Read(0x100) != w1 {
+		t.Error("last writer of word 0x100 should be w1 (via 0x104 alias)")
+	}
+	ch := s.Chain(0x100)
+	if len(ch) != 3 || ch[0].W != w1 || ch[1].W != w2 || ch[2].W != w1 {
+		t.Errorf("chain = %v", ch)
+	}
+	if ch[0].Value != 10 || ch[2].Value != 30 {
+		t.Errorf("chain values = %v", ch)
+	}
+	s2 := NewShadow(false)
+	s2.Write(0x100, w1, 0)
+	if len(s2.Chain(0x100)) != 0 {
+		t.Error("chains disabled should record nothing")
+	}
+}
+
+// seqOps builds a trivially SC execution: p0 stores A then B, p1 loads
+// B then A reading exactly p0's values in order.
+func scExecution() ([][]Op, map[uint64][]Versioned) {
+	sA := MakeWriter(0, 0)
+	sB := MakeWriter(0, 1)
+	p0 := []Op{
+		{Proc: 0, Index: 0, Kind: OpStore, Addr: 0x100, Value: 1, Self: sA},
+		{Proc: 0, Index: 1, Kind: OpStore, Addr: 0x200, Value: 2, Self: sB},
+	}
+	p1 := []Op{
+		{Proc: 1, Index: 0, Kind: OpLoad, Addr: 0x200, Value: 2, ReadsFrom: sB},
+		{Proc: 1, Index: 1, Kind: OpLoad, Addr: 0x100, Value: 1, ReadsFrom: sA},
+	}
+	chains := map[uint64][]Versioned{0x100: {{W: sA, Value: 1}}, 0x200: {{W: sB, Value: 2}}}
+	return [][]Op{p0, p1}, chains
+}
+
+func TestSCExecutionAcyclic(t *testing.T) {
+	procs, chains := scExecution()
+	g := Build(procs, chains, nil)
+	if op, cyc := g.FindCycle(); cyc {
+		t.Errorf("SC execution reported cyclic at %+v (%s)", op, g)
+	}
+	if g.Nodes() != 4 {
+		t.Errorf("Nodes = %d", g.Nodes())
+	}
+}
+
+func TestFigure1bViolationCyclic(t *testing.T) {
+	// Figure 1(b): p1 stores A then B; p2 loads B (new value) then A
+	// (old/initial value). Reading new B but old A with the load of B
+	// first in program order is a classic SC violation.
+	sA := MakeWriter(0, 0)
+	sB := MakeWriter(0, 1)
+	p0 := []Op{
+		{Proc: 0, Index: 0, Kind: OpStore, Addr: 0x100, Value: 1, Self: sA}, // store A
+		{Proc: 0, Index: 1, Kind: OpStore, Addr: 0x200, Value: 2, Self: sB}, // store B
+	}
+	p1 := []Op{
+		{Proc: 1, Index: 0, Kind: OpLoad, Addr: 0x200, Value: 2, ReadsFrom: sB},           // load B: new
+		{Proc: 1, Index: 1, Kind: OpLoad, Addr: 0x100, Value: 9, ReadsFrom: InitialValue}, // load A: old!
+	}
+	chains := map[uint64][]Versioned{0x100: {{W: sA, Value: 1}}, 0x200: {{W: sB, Value: 2}}}
+	g := Build(procs2(p0, p1), chains, nil)
+	if _, cyc := g.FindCycle(); !cyc {
+		t.Errorf("Figure 1(b) violation not detected (%s)", g)
+	}
+}
+
+func TestFigure4Example(t *testing.T) {
+	// Figure 4's shape (Dekker): p0 stores A then reads C; p1 stores C
+	// then reads A. Both reading the *original* values cannot be
+	// totally ordered — the WAR edges close a cross-processor cycle
+	// with program order.
+	sA := MakeWriter(0, 0)
+	sC := MakeWriter(1, 0)
+	p0 := []Op{
+		{Proc: 0, Index: 0, Kind: OpStore, Addr: 0xA0, Value: 1, Self: sA},
+		{Proc: 0, Index: 1, Kind: OpLoad, Addr: 0xC0, Value: 9, ReadsFrom: InitialValue},
+	}
+	p1bad := []Op{
+		{Proc: 1, Index: 0, Kind: OpStore, Addr: 0xC0, Value: 2, Self: sC},
+		{Proc: 1, Index: 1, Kind: OpLoad, Addr: 0xA0, Value: 9, ReadsFrom: InitialValue},
+	}
+	chains := map[uint64][]Versioned{0xA0: {{W: sA, Value: 1}}, 0xC0: {{W: sC, Value: 2}}}
+	g := Build(procs2(p0, p1bad), chains, nil)
+	// sA ->(PO) ldC ->(WAR) sC ->(PO) ldA ->(WAR) sA: cycle.
+	if _, cyc := g.FindCycle(); !cyc {
+		t.Errorf("Figure 4 violation not detected (%s)", g)
+	}
+	// The legal interleaving — p1's load reads the NEW A — is acyclic:
+	// stA, ldC, stC, ldA is a valid total order.
+	p1ok := []Op{
+		{Proc: 1, Index: 0, Kind: OpStore, Addr: 0xC0, Value: 2, Self: sC},
+		{Proc: 1, Index: 1, Kind: OpLoad, Addr: 0xA0, Value: 1, ReadsFrom: sA},
+	}
+	g2 := Build(procs2(p0, p1ok), chains, nil)
+	if op, cyc := g2.FindCycle(); cyc {
+		t.Errorf("legal execution flagged cyclic at %+v", op)
+	}
+}
+
+func TestWAWOrderRespected(t *testing.T) {
+	// Two stores to one address by different processors; a processor
+	// that reads them in anti-chain order violates SC.
+	s0 := MakeWriter(0, 0)
+	s1 := MakeWriter(1, 0)
+	p0 := []Op{{Proc: 0, Index: 0, Kind: OpStore, Addr: 0x80, Value: 1, Self: s0}}
+	p1 := []Op{{Proc: 1, Index: 0, Kind: OpStore, Addr: 0x80, Value: 2, Self: s1}}
+	p2 := []Op{
+		{Proc: 2, Index: 0, Kind: OpLoad, Addr: 0x80, Value: 2, ReadsFrom: s1},
+		{Proc: 2, Index: 1, Kind: OpLoad, Addr: 0x80, Value: 1, ReadsFrom: s0},
+	}
+	chains := map[uint64][]Versioned{0x80: {{W: s0, Value: 1}, {W: s1, Value: 2}}} // coherence order: s0 then s1
+	g := Build([][]Op{p0, p1, p2}, chains, nil)
+	if _, cyc := g.FindCycle(); !cyc {
+		t.Error("reading versions against coherence order must be cyclic")
+	}
+	// Reading in order is fine.
+	p2ok := []Op{
+		{Proc: 2, Index: 0, Kind: OpLoad, Addr: 0x80, Value: 1, ReadsFrom: s0},
+		{Proc: 2, Index: 1, Kind: OpLoad, Addr: 0x80, Value: 2, ReadsFrom: s1},
+	}
+	g2 := Build([][]Op{p0, p1, p2ok}, chains, nil)
+	if _, cyc := g2.FindCycle(); cyc {
+		t.Error("in-order reads flagged cyclic")
+	}
+}
+
+func TestInitialValueBeforeFirstStore(t *testing.T) {
+	// A load of the initial value ordered after observing the first
+	// store is a violation (it must precede the store).
+	s0 := MakeWriter(0, 0)
+	p0 := []Op{{Proc: 0, Index: 0, Kind: OpStore, Addr: 0x40, Value: 1, Self: s0}}
+	p1 := []Op{
+		{Proc: 1, Index: 0, Kind: OpLoad, Addr: 0x40, Value: 1, ReadsFrom: s0},
+		{Proc: 1, Index: 1, Kind: OpLoad, Addr: 0x40, Value: 9, ReadsFrom: InitialValue},
+	}
+	chains := map[uint64][]Versioned{0x40: {{W: s0, Value: 1}}}
+	g := Build(procs2(p0, p1), chains, nil)
+	if _, cyc := g.FindCycle(); !cyc {
+		t.Error("stale re-read of initial value must be cyclic")
+	}
+}
+
+func TestUnknownWriterInChainIsSkipped(t *testing.T) {
+	// DMA writers appear in chains but have no graph node; the chain
+	// segment must break gracefully.
+	s0 := MakeWriter(0, 0)
+	dma := MakeWriter(DMAProc, 1)
+	p0 := []Op{{Proc: 0, Index: 0, Kind: OpStore, Addr: 0x40, Value: 1, Self: s0}}
+	p1 := []Op{{Proc: 1, Index: 0, Kind: OpLoad, Addr: 0x40, Value: 2, ReadsFrom: dma}}
+	chains := map[uint64][]Versioned{0x40: {{W: s0, Value: 1}, {W: dma, Value: 2}}}
+	g := Build(procs2(p0, p1), chains, nil)
+	if _, cyc := g.FindCycle(); cyc {
+		t.Error("DMA-read execution flagged cyclic")
+	}
+}
+
+func procs2(a, b []Op) [][]Op { return [][]Op{a, b} }
+
+func TestPerLocationCoherence(t *testing.T) {
+	// The Figure 1(b) different-address reordering violates SC but not
+	// per-location coherence.
+	sA := MakeWriter(0, 0)
+	sB := MakeWriter(0, 1)
+	p0 := []Op{
+		{Proc: 0, Index: 0, Kind: OpStore, Addr: 0x100, Value: 1, Self: sA},
+		{Proc: 0, Index: 1, Kind: OpStore, Addr: 0x200, Value: 2, Self: sB},
+	}
+	p1 := []Op{
+		{Proc: 1, Index: 0, Kind: OpLoad, Addr: 0x200, Value: 2, ReadsFrom: sB},
+		{Proc: 1, Index: 1, Kind: OpLoad, Addr: 0x100, Value: 9, ReadsFrom: InitialValue},
+	}
+	chains := map[uint64][]Versioned{0x100: {{W: sA, Value: 1}}, 0x200: {{W: sB, Value: 2}}}
+	if _, cyc := Build(procs2(p0, p1), chains, nil).FindCycle(); !cyc {
+		t.Fatal("SC check must flag the reordering")
+	}
+	if _, cyc := BuildPerLocation(procs2(p0, p1), chains, nil).FindCycle(); cyc {
+		t.Error("per-location coherence must accept different-address reordering")
+	}
+	// But a same-address inversion violates both.
+	p1bad := []Op{
+		{Proc: 1, Index: 0, Kind: OpLoad, Addr: 0x100, Value: 1, ReadsFrom: sA},
+		{Proc: 1, Index: 1, Kind: OpLoad, Addr: 0x100, Value: 9, ReadsFrom: InitialValue},
+	}
+	if _, cyc := BuildPerLocation(procs2(p0, p1bad), chains, nil).FindCycle(); !cyc {
+		t.Error("per-location check must flag same-address inversion")
+	}
+}
+
+func TestFindCyclePath(t *testing.T) {
+	sA := MakeWriter(0, 0)
+	sC := MakeWriter(1, 0)
+	p0 := []Op{
+		{Proc: 0, Index: 0, Kind: OpStore, Addr: 0xA0, Value: 1, Self: sA},
+		{Proc: 0, Index: 1, Kind: OpLoad, Addr: 0xC0, Value: 9, ReadsFrom: InitialValue},
+	}
+	p1 := []Op{
+		{Proc: 1, Index: 0, Kind: OpStore, Addr: 0xC0, Value: 2, Self: sC},
+		{Proc: 1, Index: 1, Kind: OpLoad, Addr: 0xA0, Value: 9, ReadsFrom: InitialValue},
+	}
+	chains := map[uint64][]Versioned{0xA0: {{W: sA, Value: 1}}, 0xC0: {{W: sC, Value: 2}}}
+	g := Build(procs2(p0, p1), chains, nil)
+	path := g.FindCyclePath()
+	if len(path) < 2 {
+		t.Fatalf("cycle path too short: %d", len(path))
+	}
+	// Every node on the path is one of the four ops.
+	for _, op := range path {
+		if op.Proc != 0 && op.Proc != 1 {
+			t.Errorf("foreign op on path: %+v", op)
+		}
+	}
+	// Acyclic graph yields nil.
+	ok := []Op{{Proc: 1, Index: 0, Kind: OpLoad, Addr: 0xA0, Value: 1, ReadsFrom: sA}}
+	g2 := Build(procs2(p0[:1], ok), chains, nil)
+	if g2.FindCyclePath() != nil {
+		t.Error("acyclic graph returned a cycle path")
+	}
+}
+
+func TestValueAwareSilentStoreNoFalsePositive(t *testing.T) {
+	// A load attributed to an older writer whose value equals the next
+	// (silent) version must not be over-constrained: reading "stale"
+	// identity with identical value is value-SC.
+	s0 := MakeWriter(0, 0) // writes 5
+	s1 := MakeWriter(1, 0) // silent: writes 5 again
+	p0 := []Op{{Proc: 0, Index: 0, Kind: OpStore, Addr: 0x40, Value: 5, Self: s0}}
+	p1 := []Op{{Proc: 1, Index: 0, Kind: OpStore, Addr: 0x40, Value: 5, Self: s1}}
+	p2 := []Op{
+		// Reads attributed across the silent boundary in "wrong" order.
+		{Proc: 2, Index: 0, Kind: OpLoad, Addr: 0x40, Value: 5, ReadsFrom: s1},
+		{Proc: 2, Index: 1, Kind: OpLoad, Addr: 0x40, Value: 5, ReadsFrom: s0},
+	}
+	chains := map[uint64][]Versioned{0x40: {{W: s0, Value: 5}, {W: s1, Value: 5}}}
+	g := Build([][]Op{p0, p1, p2}, chains, nil)
+	if op, cyc := g.FindCycle(); cyc {
+		t.Errorf("silent-store identity inversion flagged as violation at %+v", op)
+	}
+}

@@ -1,0 +1,81 @@
+// Package consistency implements the paper's back-end memory
+// consistency checker (§3.1, Figure 4): the constraint graph — nodes are
+// committed memory operations, edges are program order plus the RAW,
+// WAW and WAR dependence orders per location — and its cycle test. An
+// acyclic graph means the execution has a total order, i.e. it is
+// sequentially consistent; a cycle is a consistency violation.
+//
+// Reads-from edges require knowing which store each load observed, so
+// the simulator maintains a Shadow image mapping each word to the
+// identity of its last writer; loads sample it at the same instant they
+// sample their value.
+package consistency
+
+// Writer identifies a store operation (or the initial memory value).
+// The zero Writer is the initial value.
+type Writer uint64
+
+// InitialValue is the Writer of never-written words.
+const InitialValue Writer = 0
+
+// DMAProc is the pseudo-processor id used for DMA writes.
+const DMAProc = 0xfff
+
+// MakeWriter packs a processor id and that processor's store sequence
+// number.
+func MakeWriter(proc int, storeSeq uint64) Writer {
+	return Writer(uint64(proc+1)<<48 | (storeSeq & 0xffffffffffff))
+}
+
+// Proc returns the writing processor (-1 for the initial value).
+func (w Writer) Proc() int { return int(w>>48) - 1 }
+
+// StoreSeq returns the writer's per-processor store sequence number.
+func (w Writer) StoreSeq() uint64 { return uint64(w) & 0xffffffffffff }
+
+// Versioned is one entry of a word's version chain: a store identity
+// and the value it wrote. Values make the constraint graph value-aware
+// (silent stores do not over-constrain loads; see Build).
+type Versioned struct {
+	W     Writer
+	Value uint64
+}
+
+// Shadow tracks, per word, the identity of the last committed store and
+// the per-word version chain needed for WAW/WAR edges.
+type Shadow struct {
+	last  map[uint64]Writer
+	chain map[uint64][]Versioned
+	// KeepChains enables version-chain recording (needed only when a
+	// constraint graph will be built; costs memory).
+	KeepChains bool
+}
+
+// NewShadow creates an empty shadow image.
+func NewShadow(keepChains bool) *Shadow {
+	return &Shadow{
+		last:       make(map[uint64]Writer),
+		chain:      make(map[uint64][]Versioned),
+		KeepChains: keepChains,
+	}
+}
+
+// Write records a store commit of value to addr by the given writer.
+func (s *Shadow) Write(addr uint64, w Writer, value uint64) {
+	addr &^= 7
+	s.last[addr] = w
+	if s.KeepChains {
+		s.chain[addr] = append(s.chain[addr], Versioned{W: w, Value: value})
+	}
+}
+
+// Read returns the identity of addr's last writer.
+func (s *Shadow) Read(addr uint64) Writer {
+	return s.last[addr&^7]
+}
+
+// Chain returns addr's version chain (committed store order with
+// values).
+func (s *Shadow) Chain(addr uint64) []Versioned {
+	return s.chain[addr&^7]
+}

@@ -1,0 +1,218 @@
+package energy
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTable2ExactValues(t *testing.T) {
+	// Spot-check published corners.
+	cases := []struct {
+		entries  int
+		ports    PortConfig
+		lat, enj float64
+	}{
+		{16, PortConfig{2, 2}, 0.60, 0.03},
+		{16, PortConfig{6, 6}, 0.79, 0.12},
+		{128, PortConfig{2, 2}, 0.78, 0.22},
+		{512, PortConfig{6, 6}, 1.32, 3.22},
+		{256, PortConfig{3, 2}, 1.01, 0.48},
+	}
+	for _, c := range cases {
+		pt, ok := Table2(c.entries, c.ports)
+		if !ok {
+			t.Fatalf("missing table entry %d %v", c.entries, c.ports)
+		}
+		if pt.LatencyNS != c.lat || pt.EnergyNJ != c.enj {
+			t.Errorf("Table2(%d,%v) = %+v, want %v/%v", c.entries, c.ports, pt, c.lat, c.enj)
+		}
+	}
+	if _, ok := Table2(48, PortConfig{2, 2}); ok {
+		t.Error("off-grid entry should miss")
+	}
+}
+
+func TestTable2Complete(t *testing.T) {
+	for _, n := range Table2Entries {
+		for _, p := range Table2Ports {
+			if _, ok := Table2(n, p); !ok {
+				t.Errorf("table hole at %d %v", n, p)
+			}
+		}
+	}
+}
+
+func TestEnergyScalingTrends(t *testing.T) {
+	// Paper: energy grows linearly with entries; doubling ports more
+	// than doubles energy; latency grows logarithmically and ~15% per
+	// port doubling.
+	for _, p := range Table2Ports {
+		e128, _ := Table2(128, p)
+		e256, _ := Table2(256, p)
+		ratio := e256.EnergyNJ / e128.EnergyNJ
+		if ratio < 1.5 || ratio > 2.3 {
+			t.Errorf("energy should ~double 128→256 at %v: ratio %.2f", p, ratio)
+		}
+	}
+	for _, n := range Table2Entries {
+		small, _ := Table2(n, PortConfig{2, 2})
+		big, _ := Table2(n, PortConfig{4, 4})
+		if big.EnergyNJ < 2*small.EnergyNJ {
+			t.Errorf("%d entries: doubling ports should >2x energy (%.2f vs %.2f)",
+				n, big.EnergyNJ, small.EnergyNJ)
+		}
+		if big.LatencyNS < small.LatencyNS {
+			t.Errorf("%d entries: more ports cannot be faster", n)
+		}
+	}
+}
+
+func TestCAMModelFitsTable(t *testing.T) {
+	m := DefaultCAMModel()
+	latErr, enErr := m.ModelError()
+	if latErr > 0.10 {
+		t.Errorf("latency model mean error %.1f%% too high", latErr*100)
+	}
+	if enErr > 0.30 {
+		t.Errorf("energy model mean error %.1f%% too high", enErr*100)
+	}
+}
+
+func TestCAMModelMonotonicityProperty(t *testing.T) {
+	m := DefaultCAMModel()
+	err := quick.Check(func(e1 uint8, p1 uint8) bool {
+		entries := 16 + int(e1)%497
+		ports := PortConfig{2 + int(p1)%5, 2 + int(p1)%5}
+		bigger := PortConfig{ports.Read + 1, ports.Write + 1}
+		if m.Energy(entries, bigger) <= m.Energy(entries, ports) {
+			return false
+		}
+		if m.Energy(entries*2, ports) <= m.Energy(entries, ports) {
+			return false
+		}
+		if m.Latency(entries*2, ports) <= m.Latency(entries, ports) {
+			return false
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLookupPrefersPublishedValues(t *testing.T) {
+	m := DefaultCAMModel()
+	pt := m.Lookup(32, PortConfig{2, 2})
+	if pt.LatencyNS != 0.75 || pt.EnergyNJ != 0.05 {
+		t.Errorf("Lookup should return published point, got %+v", pt)
+	}
+	// Off-grid falls back to model.
+	off := m.Lookup(48, PortConfig{2, 2})
+	if off.LatencyNS <= 0 || off.EnergyNJ <= 0 {
+		t.Errorf("model fallback invalid: %+v", off)
+	}
+	if off.EnergyNJ <= pt.EnergyNJ {
+		t.Error("48 entries should cost more than 32")
+	}
+}
+
+func TestFitsInCycle(t *testing.T) {
+	m := DefaultCAMModel()
+	// Paper §5.2: at 5 GHz (0.2ns cycle) even small CAMs do not fit.
+	if m.FitsInCycle(32, PortConfig{3, 2}, 5.0) {
+		t.Error("32-entry CAM cannot fit a 5GHz cycle")
+	}
+	// At 1 GHz (1ns) a 128-entry 2/2 CAM (0.78ns) fits.
+	if !m.FitsInCycle(128, PortConfig{2, 2}, 1.0) {
+		t.Error("128-entry CAM should fit a 1GHz cycle")
+	}
+}
+
+func TestTable1Survey(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 4 {
+		t.Fatalf("Table 1 has %d rows, want 4", len(rows))
+	}
+	names := map[string]bool{}
+	for _, r := range rows {
+		names[r.Processor] = true
+	}
+	for _, want := range []string{"Compaq Alpha 21364", "IBM Power 4", "Intel Pentium 4", "HAL SPARC64 V"} {
+		if !names[want] {
+			t.Errorf("missing %s", want)
+		}
+	}
+	s := FormatTable1()
+	if !strings.Contains(s, "Power 4") || !strings.Contains(s, "snoop") {
+		t.Error("FormatTable1 output incomplete")
+	}
+}
+
+func TestFormatTable2(t *testing.T) {
+	s := FormatTable2()
+	for _, frag := range []string{"512", "3.22", "0.60", "2/2", "6/6"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("FormatTable2 missing %q", frag)
+		}
+	}
+}
+
+func TestPowerModelDelta(t *testing.T) {
+	m := PowerModel{ECacheAccess: 0.1, EWordCompare: 0.0, ELQSearch: 0.05, OverheadPerInstr: 0}
+	// 1 replay costs 0.1; 2 searches save 0.1: break even.
+	if d := m.Delta(1, 2, 0); math.Abs(d) > 1e-12 {
+		t.Errorf("Delta = %v, want 0", d)
+	}
+	if d := m.Delta(1, 3, 0); d >= 0 {
+		t.Error("more searches saved should favor replay (negative)")
+	}
+	if d := m.Delta(2, 1, 0); d <= 0 {
+		t.Error("more replays should favor the CAM (positive)")
+	}
+}
+
+func TestBreakEvenMatchesPaperObservation(t *testing.T) {
+	// Paper: with 0.02 replays/instruction, replay wins when the LQ
+	// CAM's per-instruction search energy exceeds 0.02 × (cache+cmp).
+	m := DefaultPowerModel(128, PortConfig{3, 2})
+	// One LQ search per instruction at 0.28nJ vs 0.02 replays at
+	// ~0.1nJ: replay saves by a wide margin.
+	rate := m.BreakEvenReplayRate(1.0)
+	if rate < 0.02 {
+		t.Errorf("break-even rate %.4f should comfortably exceed 0.02", rate)
+	}
+	// Sanity via Delta with the same numbers per 1M instructions.
+	d := m.Delta(uint64(0.02*1e6), 1e6, 1e6)
+	if d >= 0 {
+		t.Error("0.02 replays/instr vs 1 search/instr must favor replay")
+	}
+}
+
+func TestPowerReport(t *testing.T) {
+	m := DefaultPowerModel(128, PortConfig{3, 2})
+	rep := m.Report(2000, 100000, 1000000)
+	if !strings.Contains(rep, "ΔEnergy") {
+		t.Error("report missing delta")
+	}
+	if !strings.Contains(rep, "SAVES") {
+		t.Errorf("this configuration should favor replay:\n%s", rep)
+	}
+}
+
+func TestDefaultPowerModelUsesTableEnergy(t *testing.T) {
+	pm := DefaultPowerModel(128, PortConfig{Read: 3, Write: 2})
+	if pm.ELQSearch != 0.28 {
+		t.Errorf("ELQSearch = %v, want the published 0.28 nJ", pm.ELQSearch)
+	}
+	if pm.ECacheAccess <= 0 || pm.EWordCompare <= 0 {
+		t.Error("nonpositive energies")
+	}
+}
+
+func TestPortConfigString(t *testing.T) {
+	if (PortConfig{3, 2}).String() != "3/2" {
+		t.Errorf("String = %q", PortConfig{3, 2}.String())
+	}
+}

@@ -1,0 +1,249 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5): Figure 5 (performance of the replay configurations
+// relative to the baseline), Figure 6 (extra data-cache bandwidth),
+// Figure 7 (reorder-buffer occupancy), Figure 8 (size-constrained load
+// queues), the §5.1 squash statistics, the §5.3 power model, and the
+// Table 1/2 hardware models. See DESIGN.md §4 for the experiment index.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"vbmo/internal/config"
+	"vbmo/internal/core"
+	"vbmo/internal/stats"
+	"vbmo/internal/system"
+	"vbmo/internal/workload"
+)
+
+// Config scopes an experiment run. The defaults are sized so the whole
+// suite finishes in minutes; the paper's shapes are stable at these
+// budgets (EXPERIMENTS.md records the reference outputs).
+type Config struct {
+	// UniInstr is committed instructions per uniprocessor run.
+	UniInstr uint64
+	// MPInstr is committed instructions per core in MP runs.
+	MPInstr uint64
+	// MPCores is the multiprocessor width (paper: 16).
+	MPCores int
+	// Samples is the number of differently-seeded samples per MP data
+	// point (Alameldeen–Wood methodology).
+	Samples int
+	// Seed is the base random seed.
+	Seed uint64
+	// Workloads restricts the run to the named workloads (nil = all).
+	Workloads []string
+	// Parallel enables running data points on multiple OS threads.
+	Parallel bool
+}
+
+// DefaultConfig returns the standard experiment scope.
+func DefaultConfig() Config {
+	return Config{
+		UniInstr: 60000,
+		MPInstr:  6000,
+		MPCores:  16,
+		Samples:  2,
+		Seed:     42,
+	}
+}
+
+// QuickConfig returns a reduced scope for smoke runs and benchmarks.
+func QuickConfig() Config {
+	return Config{
+		UniInstr: 15000,
+		MPInstr:  2500,
+		MPCores:  4,
+		Samples:  1,
+		Seed:     42,
+	}
+}
+
+// MachineNames lists the five §5.1 configurations in presentation
+// order.
+var MachineNames = []string{
+	"baseline", "replay-all", "no-reorder", "no-recent-miss", "no-recent-snoop",
+}
+
+// machineFor builds the named machine configuration.
+func machineFor(name string) config.Machine {
+	switch name {
+	case "baseline":
+		return config.Baseline()
+	case "replay-all":
+		return config.Replay(core.ReplayAll)
+	case "no-reorder":
+		return config.Replay(core.NoReorder)
+	case "no-recent-miss":
+		return config.Replay(core.NoRecentMiss)
+	case "no-recent-snoop":
+		return config.Replay(core.NoRecentSnoop)
+	case "baseline-lq16":
+		return config.ConstrainedBaseline(16)
+	case "baseline-lq32":
+		return config.ConstrainedBaseline(32)
+	}
+	panic("experiments: unknown machine " + name)
+}
+
+// Point is one (machine, workload) measurement, averaged over samples.
+type Point struct {
+	Machine  string
+	Workload string
+	Multi    bool
+	IPC      stats.Sample
+	// Bandwidth terms (per-sample sums, averaged).
+	L1DTotal     stats.Sample
+	ReplayAll    stats.Sample // replay accesses (total)
+	ReplayNUS    stats.Sample // replay accesses required by RAW filter
+	ROBOccupancy stats.Sample
+	// Squash terms.
+	RAWSquash  stats.Sample // baseline LQ RAW squashes / replay RAW squashes
+	ConsSquash stats.Sample // invalidation squashes / replay consistency squashes
+	Committed  stats.Sample
+	LQSearches stats.Sample
+	Replays    stats.Sample
+}
+
+// Matrix holds every data point of the shared §5.1 run set, keyed by
+// machine then workload.
+type Matrix struct {
+	Cfg    Config
+	Points map[string]map[string]*Point
+}
+
+// Get returns the point for (machine, workload).
+func (m *Matrix) Get(machine, work string) *Point {
+	if mm := m.Points[machine]; mm != nil {
+		return mm[work]
+	}
+	return nil
+}
+
+// workloadSet returns the selected workloads.
+func (c Config) workloadSet() []workload.Params {
+	all := workload.Catalog()
+	if len(c.Workloads) == 0 {
+		return all
+	}
+	want := map[string]bool{}
+	for _, w := range c.Workloads {
+		want[w] = true
+	}
+	var out []workload.Params
+	for _, w := range all {
+		if want[w.Name] {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// runOne executes one sample and folds it into the point.
+func runOne(pt *Point, mc config.Machine, work workload.Params, cores int, instr uint64, seed uint64) {
+	opt := system.Options{
+		Cores: cores, Seed: seed,
+		DMAInterval: 4000, DMABurst: 2,
+	}
+	s := system.New(mc, work, opt)
+	// Warm the caches and predictors, then measure from steady state;
+	// cold compulsory misses otherwise dominate short runs.
+	s.Run(instr/2, opt)
+	s.ResetStats()
+	res := s.Run(instr, opt)
+	pt.IPC.Observe(res.IPC)
+	pt.L1DTotal.Observe(float64(res.Pipe.TotalL1DAccesses()))
+	pt.ReplayAll.Observe(float64(res.Pipe.ReplayAccesses))
+	pt.ReplayNUS.Observe(float64(res.Counters.Get("replay.replays_nus")))
+	pt.ROBOccupancy.Observe(res.Pipe.AvgROBOccupancy()) // already a per-core average
+	pt.Committed.Observe(float64(res.Pipe.Committed))
+	pt.Replays.Observe(float64(res.Pipe.ReplayAccesses))
+	pt.LQSearches.Observe(float64(res.Counters.Get("lq.searches")))
+	if mc.Scheme == config.ValueReplay {
+		pt.RAWSquash.Observe(float64(res.Pipe.SquashesReplayRAW))
+		pt.ConsSquash.Observe(float64(res.Pipe.SquashesReplayCons))
+	} else {
+		pt.RAWSquash.Observe(float64(res.Pipe.SquashesRAW))
+		pt.ConsSquash.Observe(float64(res.Pipe.SquashesInval))
+	}
+}
+
+// Run computes the full §5.1 matrix: every machine × every selected
+// workload (uniprocessor workloads on one core, multiprocessor
+// workloads on MPCores with Samples samples).
+func Run(cfg Config, machines []string) *Matrix {
+	m := &Matrix{Cfg: cfg, Points: make(map[string]map[string]*Point)}
+	type job struct {
+		machine string
+		work    workload.Params
+	}
+	var jobs []job
+	for _, name := range machines {
+		m.Points[name] = make(map[string]*Point)
+		for _, w := range cfg.workloadSet() {
+			m.Points[name][w.Name] = &Point{Machine: name, Workload: w.Name, Multi: w.Multi}
+			jobs = append(jobs, job{name, w})
+		}
+	}
+	runJob := func(j job) {
+		pt := m.Points[j.machine][j.work.Name]
+		mc := machineFor(j.machine)
+		if j.work.Multi {
+			for s := 0; s < cfg.Samples; s++ {
+				runOne(pt, mc, j.work, cfg.MPCores, cfg.MPInstr, cfg.Seed+uint64(s)*101)
+			}
+		} else {
+			runOne(pt, mc, j.work, 1, cfg.UniInstr, cfg.Seed)
+		}
+	}
+	if cfg.Parallel {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, 8)
+		for _, j := range jobs {
+			wg.Add(1)
+			go func(j job) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				runJob(j)
+			}(j)
+		}
+		wg.Wait()
+	} else {
+		for _, j := range jobs {
+			runJob(j)
+		}
+	}
+	return m
+}
+
+// workloadNames returns the matrix's workloads, uniprocessor first.
+func (m *Matrix) workloadNames() (uni, mp []string) {
+	seen := map[string]bool{}
+	for _, w := range m.Cfg.workloadSet() {
+		if seen[w.Name] {
+			continue
+		}
+		seen[w.Name] = true
+		if w.Multi {
+			mp = append(mp, w.Name)
+		} else {
+			uni = append(uni, w.Name)
+		}
+	}
+	sort.Strings(uni)
+	sort.Strings(mp)
+	return uni, mp
+}
+
+func writeHeader(w io.Writer, title string, cols []string) {
+	fmt.Fprintf(w, "\n%s\n", title)
+	fmt.Fprintf(w, "%-12s", "workload")
+	for _, c := range cols {
+		fmt.Fprintf(w, " %15s", c)
+	}
+	fmt.Fprintln(w)
+}

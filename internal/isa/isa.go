@@ -1,0 +1,346 @@
+// Package isa defines the synthetic RISC instruction set executed by the
+// simulator. The ISA is deliberately small: the value-based replay
+// mechanism studied here (Cain & Lipasti, ISCA 2004) depends only on the
+// dynamic properties of the instruction stream — instruction class mix,
+// register dataflow, memory addresses and values, and control flow — not
+// on any particular commercial ISA. The PowerPC ISA used by the paper's
+// PHARMsim platform is replaced by this one; see DESIGN.md §2.
+//
+// Registers: 64 architectural registers. R0 is hardwired to zero.
+// Registers 32..63 are conventionally used by floating-point classed
+// instructions, but all registers hold 64-bit integer patterns; "FP"
+// instructions differ only in which functional unit (and latency class)
+// executes them, which is all the timing model observes.
+package isa
+
+import "fmt"
+
+// Reg names an architectural register. R0 reads as zero and ignores
+// writes.
+type Reg uint8
+
+// NumRegs is the size of the architectural register file.
+const NumRegs = 64
+
+// RZero is the hardwired zero register.
+const RZero Reg = 0
+
+// Class partitions opcodes by the functional unit that executes them and
+// by how the pipeline must treat them.
+type Class uint8
+
+const (
+	// ClassIntALU executes on an integer ALU (1-cycle in Table 3).
+	ClassIntALU Class = iota
+	// ClassIntMul executes on an integer multiplier (3-cycle).
+	ClassIntMul
+	// ClassIntDiv executes on the integer divider (12-cycle).
+	ClassIntDiv
+	// ClassFPALU executes on a floating-point ALU (4-cycle).
+	ClassFPALU
+	// ClassFPMul executes on a floating-point multiplier (4-cycle).
+	ClassFPMul
+	// ClassFPDiv executes on the floating-point divider (4-cycle).
+	ClassFPDiv
+	// ClassLoad reads memory.
+	ClassLoad
+	// ClassStore writes memory (at commit).
+	ClassStore
+	// ClassBranch is a conditional or unconditional control transfer.
+	ClassBranch
+	// ClassMembar is a memory barrier: dispatch stalls until it commits.
+	ClassMembar
+	// ClassNop does nothing.
+	ClassNop
+
+	// NumClasses counts the instruction classes.
+	NumClasses
+)
+
+// String returns a short mnemonic name for the class.
+func (c Class) String() string {
+	switch c {
+	case ClassIntALU:
+		return "int-alu"
+	case ClassIntMul:
+		return "int-mul"
+	case ClassIntDiv:
+		return "int-div"
+	case ClassFPALU:
+		return "fp-alu"
+	case ClassFPMul:
+		return "fp-mul"
+	case ClassFPDiv:
+		return "fp-div"
+	case ClassLoad:
+		return "load"
+	case ClassStore:
+		return "store"
+	case ClassBranch:
+		return "branch"
+	case ClassMembar:
+		return "membar"
+	case ClassNop:
+		return "nop"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// Opcode identifies the operation an instruction performs.
+type Opcode uint8
+
+const (
+	// OpNop does nothing.
+	OpNop Opcode = iota
+
+	// Integer ALU.
+
+	// OpAdd computes Dst = Src1 + Src2.
+	OpAdd
+	// OpSub computes Dst = Src1 - Src2.
+	OpSub
+	// OpAnd computes Dst = Src1 & Src2.
+	OpAnd
+	// OpOr computes Dst = Src1 | Src2.
+	OpOr
+	// OpXor computes Dst = Src1 ^ Src2.
+	OpXor
+	// OpShl computes Dst = Src1 << (Src2 & 63).
+	OpShl
+	// OpShr computes Dst = Src1 >> (Src2 & 63) (logical).
+	OpShr
+	// OpAddI computes Dst = Src1 + Imm.
+	OpAddI
+	// OpLui loads Imm into Dst (load upper immediate analogue).
+	OpLui
+	// OpSltu sets Dst = 1 if Src1 < Src2 (unsigned), else 0.
+	OpSltu
+
+	// Integer multiply / divide.
+
+	// OpMul computes Dst = Src1 * Src2.
+	OpMul
+	// OpDiv computes Dst = Src1 / Src2 (0 divisor yields all-ones).
+	OpDiv
+
+	// Floating-point classed operations. Semantically these are integer
+	// operations over the 64-bit register patterns; they exist to occupy
+	// the FP functional units with the FP latency classes.
+
+	// OpFAdd computes Dst = Src1 + Src2 on the FP ALU.
+	OpFAdd
+	// OpFMul computes Dst = Src1*2 + Src2 on the FP multiplier.
+	OpFMul
+	// OpFDiv computes Dst = (Src1 >> 1) ^ Src2 on the FP divider.
+	OpFDiv
+
+	// Memory.
+
+	// OpLoad reads Dst = Mem[Src1 + Imm] (64-bit).
+	OpLoad
+	// OpStore writes Mem[Src1 + Imm] = Src2 (64-bit).
+	OpStore
+
+	// Control.
+
+	// OpBeqz branches to PC + Imm when Src1 == 0.
+	OpBeqz
+	// OpBnez branches to PC + Imm when Src1 != 0.
+	OpBnez
+	// OpJump branches unconditionally to PC + Imm.
+	OpJump
+
+	// OpMembar is a memory barrier.
+	OpMembar
+
+	// NumOpcodes counts the opcodes.
+	NumOpcodes
+)
+
+var opcodeInfo = [NumOpcodes]struct {
+	name  string
+	class Class
+}{
+	OpNop:    {"nop", ClassNop},
+	OpAdd:    {"add", ClassIntALU},
+	OpSub:    {"sub", ClassIntALU},
+	OpAnd:    {"and", ClassIntALU},
+	OpOr:     {"or", ClassIntALU},
+	OpXor:    {"xor", ClassIntALU},
+	OpShl:    {"shl", ClassIntALU},
+	OpShr:    {"shr", ClassIntALU},
+	OpAddI:   {"addi", ClassIntALU},
+	OpLui:    {"lui", ClassIntALU},
+	OpSltu:   {"sltu", ClassIntALU},
+	OpMul:    {"mul", ClassIntMul},
+	OpDiv:    {"div", ClassIntDiv},
+	OpFAdd:   {"fadd", ClassFPALU},
+	OpFMul:   {"fmul", ClassFPMul},
+	OpFDiv:   {"fdiv", ClassFPDiv},
+	OpLoad:   {"load", ClassLoad},
+	OpStore:  {"store", ClassStore},
+	OpBeqz:   {"beqz", ClassBranch},
+	OpBnez:   {"bnez", ClassBranch},
+	OpJump:   {"jump", ClassBranch},
+	OpMembar: {"membar", ClassMembar},
+}
+
+// Class reports the instruction class the opcode belongs to.
+func (o Opcode) Class() Class {
+	if int(o) >= len(opcodeInfo) {
+		return ClassNop
+	}
+	return opcodeInfo[o].class
+}
+
+// String returns the opcode mnemonic.
+func (o Opcode) String() string {
+	if int(o) >= len(opcodeInfo) {
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+	return opcodeInfo[o].name
+}
+
+// Inst is a static instruction. Branch displacements and load/store
+// offsets live in Imm. Branch Imm is measured in instruction slots
+// relative to the branch itself.
+type Inst struct {
+	Op   Opcode
+	Dst  Reg
+	Src1 Reg
+	Src2 Reg
+	Imm  int64
+}
+
+// Class reports the instruction's class.
+func (in Inst) Class() Class { return in.Op.Class() }
+
+// IsMem reports whether the instruction reads or writes memory.
+func (in Inst) IsMem() bool {
+	c := in.Class()
+	return c == ClassLoad || c == ClassStore
+}
+
+// IsBranch reports whether the instruction is a control transfer.
+func (in Inst) IsBranch() bool { return in.Class() == ClassBranch }
+
+// IsConditional reports whether the instruction is a conditional branch.
+func (in Inst) IsConditional() bool {
+	return in.Op == OpBeqz || in.Op == OpBnez
+}
+
+// WritesReg reports whether the instruction produces a register result.
+func (in Inst) WritesReg() bool {
+	switch in.Class() {
+	case ClassStore, ClassBranch, ClassMembar, ClassNop:
+		return false
+	}
+	return in.Dst != RZero
+}
+
+// ReadsReg reports whether the instruction reads the given source slot
+// (1 or 2).
+func (in Inst) ReadsReg(slot int) bool {
+	switch in.Class() {
+	case ClassNop, ClassMembar:
+		return false
+	}
+	switch in.Op {
+	case OpLui:
+		return false
+	case OpAddI, OpLoad, OpBeqz, OpBnez:
+		return slot == 1
+	case OpJump:
+		return false
+	}
+	return slot == 1 || slot == 2
+}
+
+// String disassembles the instruction.
+func (in Inst) String() string {
+	switch in.Class() {
+	case ClassNop:
+		return "nop"
+	case ClassMembar:
+		return "membar"
+	case ClassLoad:
+		return fmt.Sprintf("load r%d, %d(r%d)", in.Dst, in.Imm, in.Src1)
+	case ClassStore:
+		return fmt.Sprintf("store r%d, %d(r%d)", in.Src2, in.Imm, in.Src1)
+	case ClassBranch:
+		if in.Op == OpJump {
+			return fmt.Sprintf("jump %+d", in.Imm)
+		}
+		return fmt.Sprintf("%s r%d, %+d", in.Op, in.Src1, in.Imm)
+	}
+	if in.Op == OpAddI || in.Op == OpLui {
+		return fmt.Sprintf("%s r%d, r%d, %d", in.Op, in.Dst, in.Src1, in.Imm)
+	}
+	return fmt.Sprintf("%s r%d, r%d, r%d", in.Op, in.Dst, in.Src1, in.Src2)
+}
+
+// Eval computes the result of a non-memory, non-branch instruction from
+// its source operand values. Memory and control instructions are handled
+// by the pipeline (they need addresses, memory content or PCs).
+func (in Inst) Eval(src1, src2 uint64) uint64 {
+	switch in.Op {
+	case OpAdd:
+		return src1 + src2
+	case OpSub:
+		return src1 - src2
+	case OpAnd:
+		return src1 & src2
+	case OpOr:
+		return src1 | src2
+	case OpXor:
+		return src1 ^ src2
+	case OpShl:
+		return src1 << (src2 & 63)
+	case OpShr:
+		return src1 >> (src2 & 63)
+	case OpAddI:
+		return src1 + uint64(in.Imm)
+	case OpLui:
+		return uint64(in.Imm)
+	case OpSltu:
+		if src1 < src2 {
+			return 1
+		}
+		return 0
+	case OpMul:
+		return src1 * src2
+	case OpDiv:
+		if src2 == 0 {
+			return ^uint64(0)
+		}
+		return src1 / src2
+	case OpFAdd:
+		return src1 + src2
+	case OpFMul:
+		return src1*2 + src2
+	case OpFDiv:
+		return (src1 >> 1) ^ src2
+	}
+	return 0
+}
+
+// BranchTaken evaluates a branch's direction from its first source
+// operand value.
+func (in Inst) BranchTaken(src1 uint64) bool {
+	switch in.Op {
+	case OpBeqz:
+		return src1 == 0
+	case OpBnez:
+		return src1 != 0
+	case OpJump:
+		return true
+	}
+	return false
+}
+
+// EffAddr computes the effective address of a load or store, aligned to
+// 8 bytes.
+func (in Inst) EffAddr(base uint64) uint64 {
+	return (base + uint64(in.Imm)) &^ 7
+}

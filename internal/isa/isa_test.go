@@ -1,0 +1,191 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpcodeClasses(t *testing.T) {
+	cases := []struct {
+		op   Opcode
+		want Class
+	}{
+		{OpNop, ClassNop},
+		{OpAdd, ClassIntALU},
+		{OpSub, ClassIntALU},
+		{OpAnd, ClassIntALU},
+		{OpOr, ClassIntALU},
+		{OpXor, ClassIntALU},
+		{OpShl, ClassIntALU},
+		{OpShr, ClassIntALU},
+		{OpAddI, ClassIntALU},
+		{OpLui, ClassIntALU},
+		{OpSltu, ClassIntALU},
+		{OpMul, ClassIntMul},
+		{OpDiv, ClassIntDiv},
+		{OpFAdd, ClassFPALU},
+		{OpFMul, ClassFPMul},
+		{OpFDiv, ClassFPDiv},
+		{OpLoad, ClassLoad},
+		{OpStore, ClassStore},
+		{OpBeqz, ClassBranch},
+		{OpBnez, ClassBranch},
+		{OpJump, ClassBranch},
+		{OpMembar, ClassMembar},
+	}
+	for _, c := range cases {
+		if got := c.op.Class(); got != c.want {
+			t.Errorf("%v.Class() = %v, want %v", c.op, got, c.want)
+		}
+	}
+}
+
+func TestOpcodeStringsUnique(t *testing.T) {
+	seen := map[string]Opcode{}
+	for op := OpNop; op < NumOpcodes; op++ {
+		s := op.String()
+		if s == "" || strings.HasPrefix(s, "op(") {
+			t.Errorf("opcode %d has no mnemonic", op)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("opcodes %d and %d share mnemonic %q", prev, op, s)
+		}
+		seen[s] = op
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for c := Class(0); c < NumClasses; c++ {
+		if s := c.String(); s == "" || strings.HasPrefix(s, "class(") {
+			t.Errorf("class %d has no name", c)
+		}
+	}
+	if Class(200).String() != "class(200)" {
+		t.Errorf("out-of-range class should format numerically")
+	}
+}
+
+func TestEvalALU(t *testing.T) {
+	cases := []struct {
+		in         Inst
+		s1, s2     uint64
+		want       uint64
+		wantString string
+	}{
+		{Inst{Op: OpAdd, Dst: 1, Src1: 2, Src2: 3}, 5, 7, 12, "add r1, r2, r3"},
+		{Inst{Op: OpSub, Dst: 1, Src1: 2, Src2: 3}, 5, 7, ^uint64(0) - 1, "sub r1, r2, r3"},
+		{Inst{Op: OpAnd}, 0xf0, 0x3c, 0x30, ""},
+		{Inst{Op: OpOr}, 0xf0, 0x3c, 0xfc, ""},
+		{Inst{Op: OpXor}, 0xf0, 0x3c, 0xcc, ""},
+		{Inst{Op: OpShl}, 1, 4, 16, ""},
+		{Inst{Op: OpShl}, 1, 68, 16, ""}, // shift amount masked to 6 bits
+		{Inst{Op: OpShr}, 16, 4, 1, ""},
+		{Inst{Op: OpAddI, Imm: -3}, 10, 99, 7, ""},
+		{Inst{Op: OpLui, Imm: 42}, 9, 9, 42, ""},
+		{Inst{Op: OpSltu}, 3, 4, 1, ""},
+		{Inst{Op: OpSltu}, 4, 3, 0, ""},
+		{Inst{Op: OpSltu}, 4, 4, 0, ""},
+		{Inst{Op: OpMul}, 6, 7, 42, ""},
+		{Inst{Op: OpDiv}, 42, 6, 7, ""},
+		{Inst{Op: OpDiv}, 42, 0, ^uint64(0), ""},
+		{Inst{Op: OpFAdd}, 2, 3, 5, ""},
+		{Inst{Op: OpFMul}, 2, 3, 7, ""},
+		{Inst{Op: OpFDiv}, 8, 3, 7, ""},
+	}
+	for _, c := range cases {
+		if got := c.in.Eval(c.s1, c.s2); got != c.want {
+			t.Errorf("%v.Eval(%d,%d) = %d, want %d", c.in, c.s1, c.s2, got, c.want)
+		}
+		if c.wantString != "" && c.in.String() != c.wantString {
+			t.Errorf("String() = %q, want %q", c.in.String(), c.wantString)
+		}
+	}
+}
+
+func TestBranchTaken(t *testing.T) {
+	if !(Inst{Op: OpBeqz}).BranchTaken(0) {
+		t.Error("beqz with zero should be taken")
+	}
+	if (Inst{Op: OpBeqz}).BranchTaken(1) {
+		t.Error("beqz with nonzero should not be taken")
+	}
+	if (Inst{Op: OpBnez}).BranchTaken(0) {
+		t.Error("bnez with zero should not be taken")
+	}
+	if !(Inst{Op: OpBnez}).BranchTaken(5) {
+		t.Error("bnez with nonzero should be taken")
+	}
+	if !(Inst{Op: OpJump}).BranchTaken(123) {
+		t.Error("jump is always taken")
+	}
+	if (Inst{Op: OpAdd}).BranchTaken(0) {
+		t.Error("non-branch is never taken")
+	}
+}
+
+func TestEffAddrAlignment(t *testing.T) {
+	in := Inst{Op: OpLoad, Imm: 5}
+	if got := in.EffAddr(3); got != 8&^7 && got%8 != 0 {
+		t.Errorf("EffAddr not 8-aligned: %d", got)
+	}
+	err := quick.Check(func(base uint64, imm int16) bool {
+		in := Inst{Op: OpLoad, Imm: int64(imm)}
+		return in.EffAddr(base)%8 == 0
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWritesReadsReg(t *testing.T) {
+	if (Inst{Op: OpStore, Dst: 3}).WritesReg() {
+		t.Error("store writes no register")
+	}
+	if (Inst{Op: OpBeqz, Dst: 3}).WritesReg() {
+		t.Error("branch writes no register")
+	}
+	if (Inst{Op: OpAdd, Dst: 0}).WritesReg() {
+		t.Error("write to R0 is discarded")
+	}
+	if !(Inst{Op: OpAdd, Dst: 7}).WritesReg() {
+		t.Error("add writes its destination")
+	}
+	if !(Inst{Op: OpLoad, Dst: 7}).WritesReg() {
+		t.Error("load writes its destination")
+	}
+
+	if (Inst{Op: OpLui}).ReadsReg(1) || (Inst{Op: OpLui}).ReadsReg(2) {
+		t.Error("lui reads no sources")
+	}
+	if !(Inst{Op: OpAddI}).ReadsReg(1) || (Inst{Op: OpAddI}).ReadsReg(2) {
+		t.Error("addi reads only slot 1")
+	}
+	if !(Inst{Op: OpStore}).ReadsReg(1) || !(Inst{Op: OpStore}).ReadsReg(2) {
+		t.Error("store reads base and value")
+	}
+	if !(Inst{Op: OpLoad}).ReadsReg(1) || (Inst{Op: OpLoad}).ReadsReg(2) {
+		t.Error("load reads only its base")
+	}
+	if (Inst{Op: OpJump}).ReadsReg(1) {
+		t.Error("jump reads no sources")
+	}
+	if (Inst{Op: OpMembar}).ReadsReg(1) {
+		t.Error("membar reads no sources")
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	if !(Inst{Op: OpLoad}).IsMem() || !(Inst{Op: OpStore}).IsMem() {
+		t.Error("load/store are memory ops")
+	}
+	if (Inst{Op: OpAdd}).IsMem() {
+		t.Error("add is not a memory op")
+	}
+	if !(Inst{Op: OpBeqz}).IsBranch() || !(Inst{Op: OpJump}).IsBranch() {
+		t.Error("beqz/jump are branches")
+	}
+	if !(Inst{Op: OpBeqz}).IsConditional() || (Inst{Op: OpJump}).IsConditional() {
+		t.Error("beqz conditional, jump not")
+	}
+}

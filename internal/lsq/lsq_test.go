@@ -1,0 +1,344 @@
+package lsq
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStoreQueueInsertFull(t *testing.T) {
+	q := NewStoreQueue(2)
+	if !q.Insert(1, 0x10) || !q.Insert(2, 0x14) {
+		t.Fatal("inserts into empty queue failed")
+	}
+	if q.Insert(3, 0x18) {
+		t.Error("insert into full queue should fail")
+	}
+	if q.Len() != 2 || !q.Full() {
+		t.Errorf("Len=%d Full=%v", q.Len(), q.Full())
+	}
+}
+
+func TestStoreQueueOutOfOrderInsertPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-order insert should panic")
+		}
+	}()
+	q := NewStoreQueue(4)
+	q.Insert(5, 0)
+	q.Insert(3, 0)
+}
+
+func TestStoreQueueForwarding(t *testing.T) {
+	q := NewStoreQueue(8)
+	q.Insert(1, 0x10)
+	q.Insert(3, 0x14)
+	q.SetAddr(1, 0x1000)
+	q.SetData(1, 42)
+	q.SetAddr(3, 0x2000)
+	q.SetData(3, 99)
+
+	// Load tag 5 at 0x1000 forwards from store 1.
+	r := q.Search(0x1000, 5)
+	if !r.Match || r.MatchTag != 1 || r.Data != 42 || !r.DataReady {
+		t.Errorf("forward failed: %+v", r)
+	}
+	if r.UnresolvedOlder {
+		t.Error("all addresses resolved; no unresolved flag expected")
+	}
+	// A load older than both stores sees nothing.
+	r = q.Search(0x1000, 0)
+	if r.Match || r.UnresolvedOlder {
+		t.Errorf("older load should see empty queue: %+v", r)
+	}
+}
+
+func TestStoreQueueYoungestMatchWins(t *testing.T) {
+	q := NewStoreQueue(8)
+	q.Insert(1, 0)
+	q.Insert(2, 0)
+	q.SetAddr(1, 0x1000)
+	q.SetData(1, 1)
+	q.SetAddr(2, 0x1000)
+	q.SetData(2, 2)
+	r := q.Search(0x1000, 9)
+	if r.MatchTag != 2 || r.Data != 2 {
+		t.Errorf("should forward from youngest older store: %+v", r)
+	}
+}
+
+func TestStoreQueueUnresolvedOlder(t *testing.T) {
+	q := NewStoreQueue(8)
+	q.Insert(1, 0)
+	q.Insert(2, 0) // address never set
+	q.SetAddr(1, 0x1000)
+	q.SetData(1, 7)
+	r := q.Search(0x3000, 9)
+	if r.Match {
+		t.Error("no address match expected")
+	}
+	if !r.UnresolvedOlder {
+		t.Error("store 2 is unresolved; flag expected")
+	}
+	// Unresolved store *younger than the match* also sets the flag.
+	r = q.Search(0x1000, 9)
+	if !r.Match || !r.UnresolvedOlder {
+		t.Errorf("match with younger unresolved store: %+v", r)
+	}
+	if !q.UnresolvedBefore(9) {
+		t.Error("UnresolvedBefore should see store 2")
+	}
+	if q.UnresolvedBefore(2) {
+		t.Error("store 1 is resolved")
+	}
+}
+
+func TestStoreQueueMatchWithoutData(t *testing.T) {
+	q := NewStoreQueue(8)
+	q.Insert(1, 0)
+	q.SetAddr(1, 0x1000)
+	r := q.Search(0x1000, 5)
+	if !r.Match || r.DataReady {
+		t.Errorf("address match with pending data: %+v", r)
+	}
+}
+
+func TestStoreQueueWordGranularity(t *testing.T) {
+	q := NewStoreQueue(8)
+	q.Insert(1, 0)
+	q.SetAddr(1, 0x1000)
+	q.SetData(1, 7)
+	if r := q.Search(0x1004, 5); !r.Match {
+		t.Error("same word, different byte offset should match")
+	}
+	if r := q.Search(0x1008, 5); r.Match {
+		t.Error("next word should not match")
+	}
+}
+
+func TestStoreQueueRemoveSquash(t *testing.T) {
+	q := NewStoreQueue(8)
+	for i := int64(1); i <= 4; i++ {
+		q.Insert(i, 0)
+	}
+	q.Remove(1)
+	if q.OldestTag() != 2 {
+		t.Errorf("OldestTag = %d", q.OldestTag())
+	}
+	q.Squash(3)
+	if q.Len() != 1 || q.OldestTag() != 2 {
+		t.Errorf("after squash: len=%d oldest=%d", q.Len(), q.OldestTag())
+	}
+	if q.HasOlderThan(2) {
+		t.Error("nothing older than 2 remains")
+	}
+	if !q.HasOlderThan(3) {
+		t.Error("store 2 is older than 3")
+	}
+	q2 := NewStoreQueue(2)
+	if q2.OldestTag() != -1 {
+		t.Error("empty queue OldestTag should be -1")
+	}
+}
+
+func TestAssocLQInsertCapacity(t *testing.T) {
+	q := NewAssocLoadQueue(Snooping, 2)
+	if !q.Insert(1, 0) || !q.Insert(2, 0) || q.Insert(3, 0) {
+		t.Error("capacity enforcement failed")
+	}
+}
+
+func TestRAWViolationDetection(t *testing.T) {
+	// Figure 1(a): load issues before an older store's address
+	// resolves; the store agen search finds it.
+	q := NewAssocLoadQueue(Snooping, 8)
+	q.Insert(5, 0x100) // load, program order after store tag 3
+	q.OnIssue(5, 0x1000, -1)
+	sq, found := q.OnStoreAgen(0x1000, 3)
+	if !found || sq.Tag != 5 || sq.PC != 0x100 {
+		t.Fatalf("RAW violation not found: %+v %v", sq, found)
+	}
+	if q.RAWSquashes != 1 {
+		t.Errorf("RAWSquashes = %d", q.RAWSquashes)
+	}
+	// Different address: no violation.
+	if _, found := q.OnStoreAgen(0x2000, 3); found {
+		t.Error("unrelated store should not squash")
+	}
+}
+
+func TestRAWForwardedFromYoungerStoreIsSafe(t *testing.T) {
+	q := NewAssocLoadQueue(Snooping, 8)
+	q.Insert(5, 0x100)
+	// Load forwarded from store tag 4 (younger than resolving store 3).
+	q.OnIssue(5, 0x1000, 4)
+	if _, found := q.OnStoreAgen(0x1000, 3); found {
+		t.Error("load with value from a younger store must not squash")
+	}
+	// But a store younger than the forwarding store is a violation.
+	q2 := NewAssocLoadQueue(Snooping, 8)
+	q2.Insert(5, 0x100)
+	q2.OnIssue(5, 0x1000, 2)
+	if _, found := q2.OnStoreAgen(0x1000, 3); !found {
+		t.Error("store between forwarder and load must squash the load")
+	}
+}
+
+func TestSnoopingInvalidation(t *testing.T) {
+	// Figure 1(b): an external invalidation matches an issued load that
+	// is not at the head.
+	q := NewAssocLoadQueue(Snooping, 8)
+	q.Insert(1, 0x100)
+	q.Insert(2, 0x104)
+	q.OnIssue(1, 0x1000, -1)
+	q.OnIssue(2, 0x1040, -1)
+	sq, found := q.OnInvalidation(0x1040)
+	if !found || sq.Tag != 2 {
+		t.Fatalf("snoop should squash load 2: %+v %v", sq, found)
+	}
+	if q.InvalSquashes != 1 {
+		t.Errorf("InvalSquashes = %d", q.InvalSquashes)
+	}
+}
+
+func TestSnoopHeadLoadNotSquashed(t *testing.T) {
+	q := NewAssocLoadQueue(Snooping, 8)
+	q.Insert(1, 0x100)
+	q.OnIssue(1, 0x1000, -1)
+	if _, found := q.OnInvalidation(0x1000); found {
+		t.Error("queue head must never squash on snoops (forward progress)")
+	}
+}
+
+func TestInsulatedLoadIssueSearch(t *testing.T) {
+	// Figure 1(c): younger load to the same address already issued.
+	q := NewAssocLoadQueue(Insulated, 8)
+	q.Insert(1, 0x100)
+	q.Insert(2, 0x104)
+	// Younger load 2 issues first.
+	if _, found := q.OnIssue(2, 0x1000, -1); found {
+		t.Error("first issue cannot conflict")
+	}
+	// Older load 1 issues to the same address: load 2 must squash.
+	sq, found := q.OnIssue(1, 0x1000, -1)
+	if !found || sq.Tag != 2 {
+		t.Fatalf("insulated issue search failed: %+v %v", sq, found)
+	}
+	if q.IssueSquashes != 1 {
+		t.Errorf("IssueSquashes = %d", q.IssueSquashes)
+	}
+	// Invalidations are ignored by insulated queues.
+	if _, found := q.OnInvalidation(0x1000); found {
+		t.Error("insulated queue must not process invalidations")
+	}
+}
+
+func TestInsulatedDifferentAddressNoSquash(t *testing.T) {
+	q := NewAssocLoadQueue(Insulated, 8)
+	q.Insert(1, 0x100)
+	q.Insert(2, 0x104)
+	q.OnIssue(2, 0x2000, -1)
+	if _, found := q.OnIssue(1, 0x1000, -1); found {
+		t.Error("different addresses must not conflict")
+	}
+}
+
+func TestHybridMarkThenSquash(t *testing.T) {
+	// Power4: the snoop marks; only a later same-address load-issue
+	// search squashes marked conflicts.
+	q := NewAssocLoadQueue(Hybrid, 8)
+	q.Insert(1, 0x100)
+	q.Insert(2, 0x104)
+	q.Insert(3, 0x108)
+	q.OnIssue(2, 0x1040, -1)
+	if _, found := q.OnInvalidation(0x1040); found {
+		t.Fatal("hybrid snoop must mark, not squash")
+	}
+	// Older load 1 issues to the same address: marked load 2 squashes.
+	sq, found := q.OnIssue(1, 0x1040, -1)
+	if !found || sq.Tag != 2 {
+		t.Fatalf("marked conflict not squashed: %+v %v", sq, found)
+	}
+	// Unmarked same-address conflicts do not squash in hybrid mode.
+	q2 := NewAssocLoadQueue(Hybrid, 8)
+	q2.Insert(1, 0x100)
+	q2.Insert(2, 0x104)
+	q2.OnIssue(2, 0x1040, -1)
+	if _, found := q2.OnIssue(1, 0x1040, -1); found {
+		t.Error("hybrid without snoop mark must not squash")
+	}
+}
+
+func TestSearchAccounting(t *testing.T) {
+	q := NewAssocLoadQueue(Snooping, 8)
+	q.Insert(1, 0)
+	q.Insert(2, 0)
+	q.OnIssue(1, 0x1000, -1) // snooping: no search at issue
+	if q.Searches != 0 {
+		t.Errorf("snooping issue should not search; Searches=%d", q.Searches)
+	}
+	q.OnStoreAgen(0x99, 0)
+	q.OnInvalidation(0x1000)
+	if q.Searches != 2 {
+		t.Errorf("Searches = %d, want 2", q.Searches)
+	}
+	if q.SearchedEntries != 4 {
+		t.Errorf("SearchedEntries = %d, want 4", q.SearchedEntries)
+	}
+
+	ins := NewAssocLoadQueue(Insulated, 8)
+	ins.Insert(1, 0)
+	ins.OnIssue(1, 0x1000, -1)
+	if ins.Searches != 1 {
+		t.Errorf("insulated issue must search; Searches=%d", ins.Searches)
+	}
+}
+
+func TestLoadQueueRemoveSquash(t *testing.T) {
+	q := NewAssocLoadQueue(Snooping, 8)
+	for i := int64(1); i <= 4; i++ {
+		q.Insert(i, 0)
+	}
+	q.Remove(1)
+	q.Squash(3)
+	if q.Len() != 1 {
+		t.Errorf("Len = %d, want 1", q.Len())
+	}
+	// Remaining load is tag 2 and now the head: snoops skip it.
+	q.OnIssue(2, 0x1000, -1)
+	if _, found := q.OnInvalidation(0x1000); found {
+		t.Error("head skip after remove/squash failed")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	for _, m := range []Mode{Snooping, Insulated, Hybrid} {
+		if m.String() == "?" {
+			t.Errorf("mode %d unnamed", m)
+		}
+	}
+}
+
+func TestStoreQueueSearchProperty(t *testing.T) {
+	// Property: Search never returns a match younger than the load.
+	err := quick.Check(func(addrs []uint16, loadTag uint8) bool {
+		if len(addrs) == 0 {
+			return true
+		}
+		q := NewStoreQueue(64)
+		for i, a := range addrs {
+			if i >= 60 {
+				break
+			}
+			tag := int64(i)
+			q.Insert(tag, 0)
+			q.SetAddr(tag, uint64(a)*8)
+			q.SetData(tag, uint64(i))
+		}
+		r := q.Search(uint64(addrs[0])*8, int64(loadTag))
+		return !r.Match || r.MatchTag < int64(loadTag)
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,252 @@
+// Package lsq implements the load/store queue microarchitecture of
+// Section 2: a store queue with store-to-load forwarding and unresolved-
+// address tracking, and the three conventional associative load-queue
+// designs the paper describes — snooping, insulated, and Power4-style
+// hybrid — with CAM-search accounting for the §5.3 power model. The
+// replay machine's non-associative FIFO load queue lives in package
+// core, next to the replay engine that owns it.
+//
+// Tags are reorder-buffer sequence numbers: monotonically increasing,
+// never reused within a run, so tag order is program order.
+package lsq
+
+// StoreEntry is one in-flight store.
+type StoreEntry struct {
+	Tag       int64
+	PC        uint64
+	Addr      uint64
+	AddrValid bool
+	Data      uint64
+	DataValid bool
+}
+
+// SearchResult reports a store-queue search by a load.
+type SearchResult struct {
+	// Latency is the forwarding latency in cycles (0 = the fast path;
+	// a two-level queue reports its level-two latency for deep
+	// matches — Akkary et al.'s hierarchical store queue).
+	Latency int
+	// Match is true when an older store with a resolved, equal address
+	// was found; MatchTag/Data/DataReady describe the youngest such
+	// store.
+	Match     bool
+	MatchTag  int64
+	Data      uint64
+	DataReady bool
+	// MatchPC is the matching store's PC (for predictor training).
+	MatchPC uint64
+	// UnresolvedOlder is true when some older store that could alias
+	// (younger than the match, or any older store if no match) has an
+	// unresolved address — the condition the no-unresolved-store
+	// filter records.
+	UnresolvedOlder bool
+}
+
+// StoreQueue holds in-flight stores in program order. Optionally it is
+// hierarchical (Akkary et al., "Checkpoint processing and recovery",
+// MICRO 2003 — cited in the paper's §1): a small fast level-one queue
+// holds the most recent stores; older stores live in a larger, slower
+// level-two buffer whose lookups are avoided by a membership filter
+// when no resolved older store can match.
+type StoreQueue struct {
+	entries []StoreEntry
+	cap     int
+	// Searches counts associative lookups (loads probing for
+	// forwarding).
+	Searches uint64
+
+	// Two-level mode (0 = flat queue).
+	l1Size     int
+	l2Latency  int
+	filter     *BloomFilter
+	unresolved int // stores whose address is not yet known
+	// L2Searches counts searches that had to probe the level-two
+	// buffer; L2Filtered counts level-two probes avoided.
+	L2Searches, L2Filtered uint64
+}
+
+// EnableTwoLevel makes the queue hierarchical: the newest l1Size
+// stores are the fast level-one queue; matches found deeper incur
+// l2Latency cycles; a membership filter of filterCounters counters
+// skips level-two probes that cannot match.
+func (q *StoreQueue) EnableTwoLevel(l1Size, l2Latency, filterCounters int) {
+	q.l1Size = l1Size
+	q.l2Latency = l2Latency
+	q.filter = NewBloomFilter(filterCounters, 2)
+}
+
+// NewStoreQueue creates a queue with the given capacity.
+func NewStoreQueue(capacity int) *StoreQueue {
+	return &StoreQueue{cap: capacity}
+}
+
+// Len returns the current occupancy.
+func (q *StoreQueue) Len() int { return len(q.entries) }
+
+// Full reports whether another store can be inserted.
+func (q *StoreQueue) Full() bool { return len(q.entries) >= q.cap }
+
+// Insert adds a store at dispatch; it fails when the queue is full.
+// Tags must arrive in increasing order.
+func (q *StoreQueue) Insert(tag int64, pc uint64) bool {
+	if q.Full() {
+		return false
+	}
+	if n := len(q.entries); n > 0 && q.entries[n-1].Tag >= tag {
+		panic("lsq: store tags must be inserted in program order")
+	}
+	q.entries = append(q.entries, StoreEntry{Tag: tag, PC: pc})
+	q.unresolved++
+	return true
+}
+
+func (q *StoreQueue) find(tag int64) *StoreEntry {
+	for i := range q.entries {
+		if q.entries[i].Tag == tag {
+			return &q.entries[i]
+		}
+	}
+	return nil
+}
+
+// SetAddr records the store's resolved effective address (agen).
+func (q *StoreQueue) SetAddr(tag int64, addr uint64) {
+	if e := q.find(tag); e != nil {
+		if !e.AddrValid {
+			q.unresolved--
+			if q.filter != nil {
+				q.filter.Insert(addr &^ 7)
+			}
+		}
+		e.Addr = addr
+		e.AddrValid = true
+	}
+}
+
+// SetData records the store's data operand.
+func (q *StoreQueue) SetData(tag int64, data uint64) {
+	if e := q.find(tag); e != nil {
+		e.Data = data
+		e.DataValid = true
+	}
+}
+
+// Entry returns a copy of the entry with the given tag.
+func (q *StoreQueue) Entry(tag int64) (StoreEntry, bool) {
+	if e := q.find(tag); e != nil {
+		return *e, true
+	}
+	return StoreEntry{}, false
+}
+
+// Search probes for the youngest older store matching addr, as a load
+// issuing with the given tag would. Word (8-byte) granularity. In
+// two-level mode a match found beyond the level-one region reports the
+// level-two latency, and the level-two probe is skipped entirely when
+// the membership filter proves no resolved store there can match (and
+// no unresolved store could alias).
+func (q *StoreQueue) Search(addr uint64, loadTag int64) SearchResult {
+	q.Searches++
+	addr &^= 7
+	var r SearchResult
+	l1Boundary := -1
+	if q.l1Size > 0 {
+		l1Boundary = len(q.entries) - q.l1Size
+	}
+	for i := len(q.entries) - 1; i >= 0; i-- {
+		e := &q.entries[i]
+		if q.l1Size > 0 && i < l1Boundary {
+			// Crossing into the level-two buffer: consult the filter
+			// once. With no unresolved stores anywhere and a filter
+			// miss, nothing deeper can match or alias.
+			if q.unresolved == 0 && q.filter != nil && !q.filter.MayContain(addr) {
+				q.L2Filtered++
+				return r
+			}
+			q.L2Searches++
+			l1Boundary = -1 // count the crossing only once
+		}
+		if e.Tag >= loadTag {
+			continue
+		}
+		if !e.AddrValid {
+			r.UnresolvedOlder = true
+			continue
+		}
+		if e.Addr&^7 == addr {
+			r.Match = true
+			r.MatchTag = e.Tag
+			r.MatchPC = e.PC
+			r.Data = e.Data
+			r.DataReady = e.DataValid
+			if q.l1Size > 0 && i < len(q.entries)-q.l1Size {
+				r.Latency = q.l2Latency
+			}
+			break
+		}
+	}
+	return r
+}
+
+// UnresolvedBefore reports whether any store older than tag has an
+// unresolved address.
+func (q *StoreQueue) UnresolvedBefore(tag int64) bool {
+	for i := range q.entries {
+		e := &q.entries[i]
+		if e.Tag >= tag {
+			break
+		}
+		if !e.AddrValid {
+			return true
+		}
+	}
+	return false
+}
+
+// OldestTag returns the tag of the oldest in-flight store, or -1.
+func (q *StoreQueue) OldestTag() int64 {
+	if len(q.entries) == 0 {
+		return -1
+	}
+	return q.entries[0].Tag
+}
+
+// HasOlderThan reports whether any store older than tag is in flight.
+func (q *StoreQueue) HasOlderThan(tag int64) bool {
+	return len(q.entries) > 0 && q.entries[0].Tag < tag
+}
+
+// Remove deletes the store with the given tag (at commit, after its
+// cache write).
+func (q *StoreQueue) Remove(tag int64) {
+	for i := range q.entries {
+		if q.entries[i].Tag == tag {
+			q.drop(&q.entries[i])
+			q.entries = append(q.entries[:i], q.entries[i+1:]...)
+			return
+		}
+	}
+}
+
+// Squash removes every store with tag >= fromTag.
+func (q *StoreQueue) Squash(fromTag int64) {
+	for i := range q.entries {
+		if q.entries[i].Tag >= fromTag {
+			for j := i; j < len(q.entries); j++ {
+				q.drop(&q.entries[j])
+			}
+			q.entries = q.entries[:i]
+			return
+		}
+	}
+}
+
+// drop maintains the unresolved count and membership filter as an
+// entry leaves the queue.
+func (q *StoreQueue) drop(e *StoreEntry) {
+	if !e.AddrValid {
+		q.unresolved--
+	} else if q.filter != nil {
+		q.filter.Remove(e.Addr &^ 7)
+	}
+}

@@ -1,0 +1,1116 @@
+package pipeline
+
+import (
+	"vbmo/internal/bpred"
+	"vbmo/internal/cache"
+	"vbmo/internal/config"
+	"vbmo/internal/consistency"
+	"vbmo/internal/core"
+	"vbmo/internal/deppred"
+	"vbmo/internal/isa"
+	"vbmo/internal/lsq"
+	"vbmo/internal/prog"
+	"vbmo/internal/vpred"
+)
+
+// Core is one out-of-order processor core.
+type Core struct {
+	ID  int
+	cfg config.Machine
+
+	prog *prog.Program
+	mem  *prog.Image
+	hier *cache.Hierarchy
+	bp   *bpred.Predictor
+
+	sq     *lsq.StoreQueue
+	alq    *lsq.AssocLoadQueue // baseline machines
+	eng    *core.Engine        // value-replay machines
+	ssets  *deppred.StoreSets
+	simple *deppred.Simple
+	vp     *vpred.LastValue // optional load-value predictor
+
+	nextTag int64
+	rob     []*entry
+	iq      []*entry
+	pend    []*entry // issued, awaiting completion
+	psd     []*entry // stores awaiting data capture
+	pool    pool
+
+	renameMap [isa.NumRegs]*entry
+	arch      prog.ArchState
+
+	fetchPC         uint64
+	fetchQ          []fetched
+	fetchStallUntil int64
+
+	dispatchBarrier int64 // membar tag stalling dispatch, -1 when clear
+
+	// replay sequencing. The commit-stage cache port budget is 1 in
+	// the paper's design (stores have priority, replays compete); the
+	// back-end-ports ablation widens it via ReplayPerCycle.
+	portsUsed       int
+	storeCommitted  bool
+	lastReplayCycle int64
+	noReplayPC      uint64 // rule-3 mark for the next dispatch of this PC
+	noReplayArmed   bool
+
+	cycle int64
+
+	// CommitHook, if set, observes every committed instruction (the
+	// machine-equivalence oracle and the constraint-graph checker).
+	CommitHook func(prog.Committed)
+
+	// Fault-injection switches (tests only): disable the baseline's
+	// store-agen load-queue search, or the replay machine's value
+	// comparison. They exist to prove the oracle and the consistency
+	// checker detect the violations these mechanisms prevent.
+	faultNoRAWCheck bool
+	faultNoReplay   bool
+
+	// Shadow, if set, tracks store identity for the constraint-graph
+	// checker: loads sample their value's writer at the same instant
+	// they sample the value.
+	Shadow *consistency.Shadow
+	// storeWriters maps recently committed store tags to their writer
+	// identity so forwarded loads can resolve provenance at commit; a
+	// ring of recent keys bounds its size (any forwarding load commits
+	// within one ROB generation of its source store).
+	storeWriters   map[int64]consistency.Writer
+	storeWriterLog []int64
+	writerSeq      uint64 // store writer sequence (survives ResetStats)
+
+	Stats Stats
+}
+
+// New builds a core running program p against the shared image, with
+// the given cache hierarchy (already attached to its backend/bus).
+func New(id int, cfg config.Machine, p *prog.Program, mem *prog.Image, hier *cache.Hierarchy, init prog.ArchState) *Core {
+	c := &Core{
+		ID:              id,
+		cfg:             cfg,
+		prog:            p,
+		mem:             mem,
+		hier:            hier,
+		bp:              bpred.New(cfg.BP),
+		sq:              lsq.NewStoreQueue(cfg.SQSize),
+		arch:            init,
+		fetchPC:         p.Entry,
+		dispatchBarrier: -1,
+		lastReplayCycle: -1,
+	}
+	c.arch.PC = p.Entry
+	if cfg.Scheme == config.ValueReplay {
+		c.eng = core.NewEngine(cfg.Filter, cfg.LQSize)
+	} else {
+		c.alq = lsq.NewAssocLoadQueue(cfg.LQMode, cfg.LQSize)
+		if cfg.BloomCounters > 0 {
+			hashes := cfg.BloomHashes
+			if hashes == 0 {
+				hashes = 2
+			}
+			c.alq.EnableBloom(cfg.BloomCounters, hashes)
+		}
+	}
+	if cfg.SQL1Size > 0 {
+		ctrs := cfg.SQFilterCtrs
+		if ctrs == 0 {
+			ctrs = 1024
+		}
+		c.sq.EnableTwoLevel(cfg.SQL1Size, cfg.SQL2Latency, ctrs)
+	}
+	if cfg.UseStoreSets {
+		c.ssets = deppred.NewStoreSets(cfg.SSITEntries, cfg.LFSTEntries)
+	}
+	if cfg.UseValuePrediction && cfg.Scheme == config.ValueReplay {
+		n := cfg.VPredEntries
+		if n == 0 {
+			n = 4096
+		}
+		c.vp = vpred.New(n)
+	}
+	c.simple = deppred.NewSimple(cfg.SimpleEntries)
+	return c
+}
+
+// ValuePredictor exposes the load-value predictor (nil when disabled).
+func (c *Core) ValuePredictor() *vpred.LastValue { return c.vp }
+
+// Engine exposes the replay engine (nil on baseline machines).
+func (c *Core) Engine() *core.Engine { return c.eng }
+
+// LoadQueue exposes the associative load queue (nil on replay machines).
+func (c *Core) LoadQueue() *lsq.AssocLoadQueue { return c.alq }
+
+// StoreQueue exposes the store queue.
+func (c *Core) StoreQueue() *lsq.StoreQueue { return c.sq }
+
+// Hierarchy exposes the core's cache hierarchy.
+func (c *Core) Hierarchy() *cache.Hierarchy { return c.hier }
+
+// Predictor exposes the branch predictor.
+func (c *Core) Predictor() *bpred.Predictor { return c.bp }
+
+// SimplePredictor exposes the 1-bit dependence predictor.
+func (c *Core) SimplePredictor() *deppred.Simple { return c.simple }
+
+// Cycle returns the current cycle.
+func (c *Core) Cycle() int64 { return c.cycle }
+
+// Step advances the core by one cycle.
+func (c *Core) Step() {
+	c.portsUsed = 0
+	c.storeCommitted = false
+	c.writeback()
+	c.captureStoreData()
+	c.commit()
+	if c.cfg.Scheme == config.ValueReplay {
+		c.replayStage()
+	}
+	c.issue()
+	c.dispatch()
+	c.fetch()
+	c.Stats.ROBOccupancySum += uint64(len(c.rob))
+	c.Stats.Cycles++
+	c.cycle++
+}
+
+// ---------------------------------------------------------------------
+// Writeback: completions, branch resolution, store agen effects.
+
+func (c *Core) writeback() {
+	// Compact the pending list while processing completions. A squash
+	// inside the loop truncates c.pend via squashFrom; the tag check
+	// keeps iteration safe because we re-filter against the surviving
+	// prefix below.
+	i := 0
+	for i < len(c.pend) {
+		e := c.pend[i]
+		if e.done || e.doneCycle > c.cycle {
+			i++
+			continue
+		}
+		c.pend[i] = c.pend[len(c.pend)-1]
+		c.pend = c.pend[:len(c.pend)-1]
+		if c.complete(e) {
+			// A squash occurred; c.pend was rebuilt. Restart.
+			i = 0
+		}
+	}
+}
+
+// complete finishes one instruction; it reports whether a squash
+// happened (invalidating iteration state).
+func (c *Core) complete(e *entry) bool {
+	e.done = true
+	e.resultReady = true
+	switch {
+	case e.isBranch:
+		return c.resolveBranch(e)
+	case e.isStore:
+		// Store agen completing.
+		e.agenDone = true
+		c.sq.SetAddr(e.tag, e.addr)
+		if e.dataDone {
+			e.done = true
+		} else {
+			e.done = false
+		}
+		if c.alq != nil && !c.faultNoRAWCheck {
+			if sqz, found := c.alq.OnStoreAgen(e.addr, e.tag); found {
+				c.trainViolation(sqz.PC, e.pc)
+				c.Stats.SquashesRAW++
+				c.squashFrom(sqz.Tag, sqz.PC, false)
+				return true
+			}
+		}
+	case e.isLoad:
+		e.loadDone = true
+	}
+	return false
+}
+
+func (c *Core) resolveBranch(e *entry) bool {
+	src1, _ := e.srcReady(1)
+	e.taken = e.inst.BranchTaken(src1)
+	if e.inst.IsConditional() {
+		c.bp.Update(e.pc, e.taken, e.meta)
+	}
+	if e.taken {
+		c.bp.UpdateTarget(e.pc, c.prog.Target(e.inst, e.pc))
+	}
+	if e.taken != e.predTaken {
+		c.Stats.SquashesMispredict++
+		next := c.prog.NextPC(e.inst, e.pc, e.taken)
+		c.squashFrom(e.tag+1, next, true)
+		return true
+	}
+	return false
+}
+
+func (c *Core) trainViolation(loadPC, storePC uint64) {
+	if c.ssets != nil {
+		c.ssets.TrainViolation(loadPC, storePC)
+	} else {
+		c.simple.TrainViolation(loadPC)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Store data capture.
+
+func (c *Core) captureStoreData() {
+	i := 0
+	for i < len(c.psd) {
+		e := c.psd[i]
+		if e.dataDone {
+			c.psd[i] = c.psd[len(c.psd)-1]
+			c.psd = c.psd[:len(c.psd)-1]
+			continue
+		}
+		if v, ok := e.srcReady(2); ok {
+			e.value = v
+			e.dataDone = true
+			c.sq.SetData(e.tag, v)
+			if e.agenDone {
+				e.done = true
+			}
+			c.psd[i] = c.psd[len(c.psd)-1]
+			c.psd = c.psd[:len(c.psd)-1]
+			continue
+		}
+		i++
+	}
+}
+
+// ---------------------------------------------------------------------
+// Commit.
+
+func (c *Core) commit() {
+	for n := 0; n < c.cfg.Width && len(c.rob) > 0; n++ {
+		e := c.rob[0]
+		if !e.done {
+			return
+		}
+		if e.isStore {
+			if c.storeCommitted || c.portsUsed >= c.portCap() {
+				return // one store per cycle through the commit port
+			}
+			c.storeCommitted = true
+			c.portsUsed++
+			silent := c.mem.Write(e.addr, e.value)
+			if silent {
+				c.Stats.SilentStores++
+			}
+			if c.Shadow != nil {
+				w := consistency.MakeWriter(c.ID, c.writerSeq)
+				c.writerSeq++
+				c.Shadow.Write(e.addr, w, e.value)
+				if c.storeWriters == nil {
+					c.storeWriters = make(map[int64]consistency.Writer)
+				}
+				c.storeWriters[e.tag] = w
+				c.storeWriterLog = append(c.storeWriterLog, e.tag)
+				if len(c.storeWriterLog) > 2*c.cfg.ROBSize {
+					delete(c.storeWriters, c.storeWriterLog[0])
+					c.storeWriterLog = c.storeWriterLog[1:]
+				}
+			}
+			c.hier.Write(e.addr, c.cycle)
+			c.Stats.StoreAccesses++
+			c.Stats.CommittedStores++
+			c.sq.Remove(e.tag)
+			if c.ssets != nil {
+				c.ssets.StoreRetired(e.pc, e.tag)
+			}
+		}
+		if e.isLoad {
+			if c.eng != nil {
+				if !e.replayedOK {
+					return // must pass replay & compare first
+				}
+				if c.vp != nil && !e.replayIssued {
+					// Filtered loads train the value predictor at
+					// commit (replayed loads trained at compare).
+					c.vp.Train(e.pc, e.result, false)
+				}
+				c.eng.Queue.Remove(e.tag)
+			} else {
+				c.alq.Remove(e.tag)
+			}
+			if e.valuePredicted {
+				c.Stats.ValuePredictedCommitted++
+			}
+			c.Stats.CommittedLoads++
+		}
+		if e.isBranch {
+			c.Stats.CommittedBranches++
+		}
+		if e.inst.WritesReg() {
+			c.arch.WriteReg(e.inst.Dst, e.result)
+			if c.renameMap[e.inst.Dst] == e {
+				c.renameMap[e.inst.Dst] = nil
+			}
+			// Unlink unissued consumers before the entry is recycled:
+			// they latch the value now instead of holding a pointer.
+			c.unlink(e)
+		}
+		if c.dispatchBarrier == e.tag {
+			c.dispatchBarrier = -1
+		}
+		if c.CommitHook != nil {
+			rec := prog.Committed{
+				Seq: c.Stats.Committed, PC: e.pc, Op: e.inst.Op,
+				Result: e.result, Addr: e.addr, Taken: e.taken,
+			}
+			if e.isStore {
+				rec.Result = e.value
+				if c.Shadow != nil {
+					// Self-identity for the consistency checker.
+					rec.Writer = uint64(c.Shadow.Read(e.addr))
+				}
+			}
+			if e.isLoad && c.Shadow != nil {
+				w := e.writer
+				if e.forwardTag >= 0 && !e.replayIssued {
+					// Non-replayed forwarded loads resolve provenance
+					// at commit: the source store has already committed
+					// (it is older). Replayed loads already carry their
+					// replay-time writer.
+					if sw, ok := c.storeWriters[e.forwardTag]; ok {
+						w = sw
+					}
+				}
+				rec.Writer = uint64(w)
+			}
+			c.CommitHook(rec)
+		}
+		c.Stats.Committed++
+		c.rob = c.rob[1:]
+		c.pool.put(e)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Replay & compare stages (value-replay machines).
+
+func (c *Core) replayStage() {
+	budget := c.cfg.ReplayPerCycle
+	depth := c.cfg.ReplayWindow
+	if depth > len(c.rob) {
+		depth = len(c.rob)
+	}
+	// Replay and compare are pipelined: one replay may *issue* per
+	// cycle even while older replays' compares are pending, but
+	// compares complete strictly in program order (olderPending) and a
+	// replay miss delays every younger completion (lastReplayCycle).
+	olderPending := false
+	for i := 0; i < depth; i++ {
+		e := c.rob[i]
+		if e.isStore {
+			// Constraint 1: all prior stores must have written the
+			// cache before any younger load replays.
+			return
+		}
+		if !e.isLoad || e.replayedOK {
+			continue
+		}
+		if !e.loadDone {
+			// Premature execution still in flight; replay is in-order,
+			// so nothing younger may replay either.
+			return
+		}
+		fe := c.eng.Queue.Find(e.tag)
+		if fe == nil {
+			e.replayedOK = true
+			continue
+		}
+		if !e.replayDecided {
+			e.replayDecided = true
+			e.needReplay = !c.faultNoReplay && c.eng.ShouldReplay(fe)
+			if !e.needReplay {
+				e.replayedOK = true
+				c.eng.OnLoadPassedReplayStage(e.tag)
+				continue
+			}
+		}
+		if !e.replayIssued {
+			if budget == 0 || c.portsUsed >= c.portCap() {
+				// Constraint: replays share the commit-stage port(s)
+				// with stores; stores have priority.
+				return
+			}
+			budget--
+			c.portsUsed++
+			res := c.hier.ReadReplay(e.addr, c.cycle)
+			c.Stats.ReplayAccesses++
+			e.replayIssued = true
+			// The replayed value is sampled at replay issue: all prior
+			// stores have committed, so this is the load's commit-time
+			// (sequentially consistent) value.
+			e.replayValue = c.mem.Read(e.addr)
+			if c.Shadow != nil {
+				e.replayWriter = c.Shadow.Read(e.addr)
+			}
+			// The compare completes within the compare stage; for an L1
+			// hit the result is available with the access latency (the
+			// two added pipe stages are latency the window hides, not
+			// commit-throughput).
+			done := c.cycle + int64(res.Latency)
+			// Constraint 2: replays complete in program order; a miss
+			// delays every subsequent replay.
+			if done <= c.lastReplayCycle {
+				done = c.lastReplayCycle + 1
+			}
+			e.replayCycle = done
+			c.lastReplayCycle = done
+			olderPending = true
+			continue
+		}
+		if c.cycle < e.replayCycle || olderPending {
+			// Compare pending (or an older one is): completions stay
+			// in order, but younger replays may still issue.
+			olderPending = true
+			continue
+		}
+		// A replayed load's ordering point is its replay instant: its
+		// provenance is the replay-time writer whether or not the value
+		// matched. (With a match the values agree, so the value-aware
+		// constraint graph treats both attributions consistently; with
+		// a mismatch the replay value is the committed one.)
+		e.writer = e.replayWriter
+		if c.vp != nil {
+			c.vp.Train(e.pc, e.replayValue, fe.ValuePredicted)
+		}
+		if c.eng.OnReplayComplete(fe, e.replayValue) {
+			// Value mismatch: the premature load resolved its
+			// dependences incorrectly (or a value prediction was
+			// wrong). The load keeps the correct (replayed) value;
+			// everything younger squashes.
+			e.result = e.replayValue
+			e.value = e.replayValue
+			switch {
+			case fe.ValuePredicted:
+				c.Stats.SquashesVPred++
+			case fe.NUS:
+				c.simple.TrainViolation(e.pc)
+				c.Stats.SquashesReplayRAW++
+			default:
+				c.Stats.SquashesReplayCons++
+			}
+			e.replayedOK = true
+			if c.cfg.SquashIncludesLoad {
+				// Ablation variant: refetch the load itself too; rule 3
+				// marks it so it is not replayed again.
+				c.noReplayPC = e.pc
+				c.noReplayArmed = true
+				c.squashFrom(e.tag, e.pc, false)
+			} else {
+				c.squashFrom(e.tag+1, e.pc+prog.InstBytes, false)
+			}
+			return
+		}
+		e.replayedOK = true
+	}
+}
+
+// ---------------------------------------------------------------------
+// Issue.
+
+type fuBudget struct {
+	intALU, intMulDiv, fpALU, fpMulDiv, loadPorts, total int
+}
+
+func (c *Core) issue() {
+	b := fuBudget{
+		intALU:    c.cfg.IntALU,
+		intMulDiv: c.cfg.IntMulDiv,
+		fpALU:     c.cfg.FPALU,
+		fpMulDiv:  c.cfg.FPMulDiv,
+		loadPorts: c.cfg.LoadPorts,
+		total:     c.cfg.Width,
+	}
+	i := 0
+	for i < len(c.iq) && b.total > 0 {
+		e := c.iq[i]
+		if !e.inIQ {
+			// Issued on a cycle that ended in a squash before the list
+			// was compacted.
+			c.iq = append(c.iq[:i], c.iq[i+1:]...)
+			continue
+		}
+		issued, squashed := c.tryIssue(e, &b)
+		if squashed {
+			return
+		}
+		if issued {
+			b.total--
+			c.iq = append(c.iq[:i], c.iq[i+1:]...)
+			continue
+		}
+		i++
+	}
+}
+
+// tryIssue attempts to issue one instruction; it reports (issued,
+// squashed). A squash can happen when an insulated/hybrid load-issue
+// search finds a violation.
+func (c *Core) tryIssue(e *entry, b *fuBudget) (bool, bool) {
+	switch e.inst.Class() {
+	case isa.ClassIntALU:
+		return c.issueALU(e, &b.intALU, c.cfg.IntLat), false
+	case isa.ClassIntMul:
+		return c.issueALU(e, &b.intMulDiv, c.cfg.MulLat), false
+	case isa.ClassIntDiv:
+		return c.issueALU(e, &b.intMulDiv, c.cfg.DivLat), false
+	case isa.ClassFPALU:
+		return c.issueALU(e, &b.fpALU, c.cfg.FPLat), false
+	case isa.ClassFPMul, isa.ClassFPDiv:
+		return c.issueALU(e, &b.fpMulDiv, c.cfg.FPLat), false
+	case isa.ClassBranch:
+		return c.issueBranch(e, &b.intALU), false
+	case isa.ClassStore:
+		return c.issueStoreAgen(e, &b.intALU), false
+	case isa.ClassLoad:
+		return c.issueLoad(e, b)
+	}
+	return false, false
+}
+
+func (c *Core) issueALU(e *entry, units *int, lat int) bool {
+	if *units == 0 {
+		return false
+	}
+	s1, ok1 := e.srcReady(1)
+	s2, ok2 := e.srcReady(2)
+	if !ok1 || !ok2 {
+		return false
+	}
+	*units--
+	e.issued = true
+	e.inIQ = false
+	e.result = e.inst.Eval(s1, s2)
+	e.doneCycle = c.cycle + int64(lat)
+	c.pend = append(c.pend, e)
+	return true
+}
+
+func (c *Core) issueBranch(e *entry, units *int) bool {
+	if *units == 0 {
+		return false
+	}
+	s1, ok := e.srcReady(1)
+	if !ok {
+		return false
+	}
+	*units--
+	e.src1Val = s1
+	e.src1 = nil // latch the value for resolution
+	e.issued = true
+	e.inIQ = false
+	e.doneCycle = c.cycle + int64(c.cfg.IntLat)
+	c.pend = append(c.pend, e)
+	return true
+}
+
+func (c *Core) issueStoreAgen(e *entry, units *int) bool {
+	if e.agenDone || e.issued {
+		return false
+	}
+	if *units == 0 {
+		return false
+	}
+	s1, ok := e.srcReady(1)
+	if !ok {
+		return false
+	}
+	*units--
+	e.addr = e.inst.EffAddr(s1)
+	// Agen bypass: the resolved address is visible to store-queue
+	// searches in the same cycle (loads stop seeing this store as
+	// unresolved immediately); the load-queue violation search and the
+	// agenDone ordering flag still take effect at writeback.
+	c.sq.SetAddr(e.tag, e.addr)
+	e.issued = true
+	e.inIQ = false
+	e.doneCycle = c.cycle + int64(c.cfg.IntLat)
+	c.pend = append(c.pend, e)
+	return true
+}
+
+func (c *Core) issueLoad(e *entry, b *fuBudget) (bool, bool) {
+	if b.loadPorts == 0 {
+		return false, false
+	}
+	s1, ok := e.srcReady(1)
+	if !ok {
+		return false, false
+	}
+	addr := e.inst.EffAddr(s1)
+	// Dependence predictor constraints.
+	if e.waitStoreTag >= 0 {
+		if se, ok := c.sq.Entry(e.waitStoreTag); ok && !se.AddrValid {
+			return false, false // store-set: wait for the store's agen
+		}
+		e.waitStoreTag = -1
+	}
+	simpleWait := c.ssets == nil && c.simple.ShouldWait(e.pc)
+	if simpleWait && c.sq.UnresolvedBefore(e.tag) {
+		return false, false // simple predictor: wait for all prior agens
+	}
+	r := c.sq.Search(addr, e.tag)
+	if r.Match && !r.DataReady {
+		return false, false // forwarding store's data not ready yet
+	}
+	b.loadPorts--
+	e.addr = addr
+	e.addrValid = true
+	e.issued = true
+	e.inIQ = false
+	e.forwardTag = -1
+	e.nus = r.UnresolvedOlder
+	if e.nus {
+		c.Stats.LoadsNUSFlagged++
+	}
+	e.reordered = c.priorMemIncomplete(e)
+	if e.reordered {
+		c.Stats.LoadsReordered++
+	}
+	var lat int
+	if r.Match {
+		// Store-to-load forwarding: value from the store queue. A
+		// hierarchical store queue's level-two matches forward slower.
+		if !e.valuePredicted {
+			e.value = r.Data
+		}
+		e.forwardTag = r.MatchTag
+		lat = c.cfg.Hier.L1D.Latency
+		if r.Latency > lat {
+			lat = r.Latency
+		}
+		c.Stats.ForwardedLoads++
+	} else {
+		res := c.hier.Read(e.pc, addr, c.cycle)
+		c.Stats.DemandLoadAccesses++
+		if !e.valuePredicted {
+			// A value-predicted load's "premature value" IS the
+			// prediction; the cache access warms the block the replay
+			// will verify against.
+			e.value = c.mem.Read(addr)
+			if c.Shadow != nil {
+				e.writer = c.Shadow.Read(addr)
+			}
+		}
+		lat = res.Latency
+	}
+	e.result = e.value
+	e.doneCycle = c.cycle + int64(lat)
+	c.pend = append(c.pend, e)
+
+	if c.eng != nil {
+		if fe := c.eng.Queue.Find(e.tag); fe != nil {
+			fe.Addr = e.addr
+			fe.Value = e.value
+			fe.Issued = true
+			fe.Forwarded = r.Match
+			fe.NUS = e.nus
+			fe.Reordered = e.reordered
+			fe.NoReplay = e.noReplay
+			fe.ValuePredicted = e.valuePredicted
+		}
+		return true, false
+	}
+	if sqz, found := c.alq.OnIssue(e.tag, e.addr, e.forwardTag); found {
+		// Insulated/hybrid load-issue search found a younger issued
+		// load to the same address (Figure 1(c)).
+		c.Stats.SquashesLoadIssue++
+		c.squashFrom(sqz.Tag, sqz.PC, false)
+		return true, true
+	}
+	return true, false
+}
+
+// unlink copies a committing producer's result into any consumer that
+// still references it, so the producer's storage can be recycled safely.
+// Only unissued instructions hold producer pointers: everything in the
+// issue queue, plus stores awaiting data capture.
+func (c *Core) unlink(p *entry) {
+	fix := func(e *entry) {
+		if e.src1 == p {
+			e.src1 = nil
+			e.src1Val = p.result
+		}
+		if e.src2 == p {
+			e.src2 = nil
+			e.src2Val = p.result
+		}
+	}
+	for _, e := range c.iq {
+		fix(e)
+	}
+	for _, e := range c.psd {
+		fix(e)
+	}
+}
+
+// priorMemIncomplete reports whether any older memory operation is
+// still incomplete (prior load not done, or prior store address
+// unresolved) — the no-reorder filter's issue-time condition.
+func (c *Core) priorMemIncomplete(e *entry) bool {
+	for _, o := range c.rob {
+		if o.tag >= e.tag {
+			return false
+		}
+		if o.isLoad && !o.loadDone {
+			return true
+		}
+		if o.isStore {
+			// A store is incomplete until it commits (writes the
+			// cache); an older store still in the ROB means this load
+			// samples memory before that store's global visibility
+			// point, i.e. out of order.
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------
+// Dispatch.
+
+func (c *Core) dispatch() {
+	for n := 0; n < c.cfg.Width; n++ {
+		if len(c.fetchQ) == 0 || c.fetchQ[0].readyCycle > c.cycle {
+			return
+		}
+		if c.dispatchBarrier >= 0 {
+			c.Stats.StallBarrier++
+			return
+		}
+		if len(c.rob) >= c.cfg.ROBSize {
+			c.Stats.StallROB++
+			return
+		}
+		f := c.fetchQ[0]
+		cls := f.inst.Class()
+		needIQ := cls != isa.ClassNop && cls != isa.ClassMembar
+		if needIQ && len(c.iq) >= c.cfg.IQSize {
+			c.Stats.StallIQ++
+			return
+		}
+		switch cls {
+		case isa.ClassLoad:
+			full := false
+			if c.eng != nil {
+				full = c.eng.Queue.Full()
+			} else {
+				full = c.alq.Full()
+			}
+			if full {
+				c.Stats.StallLQ++
+				return
+			}
+		case isa.ClassStore:
+			if c.sq.Full() {
+				c.Stats.StallSQ++
+				return
+			}
+		}
+		c.fetchQ = c.fetchQ[1:]
+		c.dispatchOne(f)
+	}
+}
+
+func (c *Core) dispatchOne(f fetched) {
+	e := c.pool.get()
+	e.tag = c.nextTag
+	c.nextTag++
+	e.pc = f.pc
+	e.inst = f.inst
+	e.predTaken = f.predTaken
+	e.meta = f.meta
+	e.histSnapshot = f.hist
+	e.waitStoreTag = -1
+	e.forwardTag = -1
+	e.doneCycle = -1
+
+	// Rename: bind sources to producers or architectural values.
+	bind := func(slot int, r isa.Reg) {
+		if !f.inst.ReadsReg(slot) {
+			return
+		}
+		p := c.renameMap[r]
+		if r == isa.RZero {
+			p = nil
+		}
+		if slot == 1 {
+			e.reads1 = true
+			if p == nil {
+				e.src1Val = c.arch.ReadReg(r)
+			} else {
+				e.src1 = p
+			}
+		} else {
+			e.reads2 = true
+			if p == nil {
+				e.src2Val = c.arch.ReadReg(r)
+			} else {
+				e.src2 = p
+			}
+		}
+	}
+	bind(1, f.inst.Src1)
+	bind(2, f.inst.Src2)
+	if f.inst.WritesReg() {
+		c.renameMap[f.inst.Dst] = e
+	}
+
+	cls := f.inst.Class()
+	switch cls {
+	case isa.ClassNop:
+		e.done = true
+		e.doneCycle = c.cycle
+	case isa.ClassMembar:
+		e.done = true
+		e.doneCycle = c.cycle
+		c.dispatchBarrier = e.tag
+	case isa.ClassBranch:
+		e.isBranch = true
+		e.inIQ = true
+		c.iq = append(c.iq, e)
+	case isa.ClassLoad:
+		e.isLoad = true
+		e.inIQ = true
+		c.iq = append(c.iq, e)
+		if c.vp != nil && !(c.noReplayArmed && e.pc == c.noReplayPC) {
+			if v, ok := c.vp.Predict(e.pc); ok {
+				// Consumers may use the predicted value immediately;
+				// the replay/compare stages verify it before commit.
+				e.valuePredicted = true
+				e.result = v
+				e.value = v
+				e.resultReady = true
+				c.Stats.ValuePredictedLoads++
+			}
+		}
+		if c.eng != nil {
+			c.eng.Queue.Insert(e.tag, e.pc)
+			if c.noReplayArmed && e.pc == c.noReplayPC {
+				// Forward-progress rule 3: the refetched instance of a
+				// load that caused a replay squash is not replayed.
+				e.noReplay = true
+				c.noReplayArmed = false
+			}
+		} else {
+			c.alq.Insert(e.tag, e.pc)
+			if c.ssets != nil {
+				e.waitStoreTag = c.ssets.LoadDispatched(e.pc)
+			}
+		}
+	case isa.ClassStore:
+		e.isStore = true
+		e.inIQ = true
+		c.iq = append(c.iq, e)
+		c.sq.Insert(e.tag, e.pc)
+		c.psd = append(c.psd, e)
+		if c.ssets != nil {
+			c.ssets.StoreDispatched(e.pc, e.tag)
+		}
+	default:
+		e.inIQ = true
+		c.iq = append(c.iq, e)
+	}
+	c.rob = append(c.rob, e)
+}
+
+// ---------------------------------------------------------------------
+// Fetch.
+
+func (c *Core) fetch() {
+	if c.cycle < c.fetchStallUntil {
+		return
+	}
+	if len(c.fetchQ) >= c.cfg.FetchBuf {
+		return
+	}
+	// One instruction-cache access per fetch cycle.
+	ifres := c.hier.InstrFetch(c.fetchPC)
+	if ifres.Latency > c.cfg.Hier.L1I.Latency {
+		c.fetchStallUntil = c.cycle + int64(ifres.Latency)
+		return
+	}
+	ready := c.cycle + int64(c.cfg.FrontEndDepth)
+	for n := 0; n < c.cfg.Width && len(c.fetchQ) < c.cfg.FetchBuf; n++ {
+		in, ok := c.prog.Fetch(c.fetchPC)
+		if !ok {
+			in = isa.Inst{Op: isa.OpNop} // wrong-path filler
+		}
+		f := fetched{pc: c.fetchPC, inst: in, readyCycle: ready, hist: c.bp.History()}
+		if in.IsBranch() {
+			f.predTaken, f.meta = c.bp.PredictInst(in, c.fetchPC)
+		}
+		c.fetchQ = append(c.fetchQ, f)
+		if in.IsBranch() && f.predTaken {
+			target := c.prog.Target(in, c.fetchPC)
+			if _, hit := c.bp.PredictTarget(c.fetchPC); !hit {
+				// BTB miss on a predicted-taken branch: one bubble while
+				// decode computes the target.
+				c.fetchStallUntil = c.cycle + 2
+			}
+			c.fetchPC = target
+			return // fetch stops at the first taken branch (Table 3)
+		}
+		c.fetchPC += prog.InstBytes
+	}
+}
+
+// ---------------------------------------------------------------------
+// Squash.
+
+// squashFrom kills every instruction with tag >= fromTag, redirects
+// fetch to newPC, and repairs rename/predictor state. When
+// branchRepair is true the branch's own Update already fixed global
+// history; otherwise history is restored from the oldest killed
+// instruction's snapshot.
+func (c *Core) squashFrom(fromTag int64, newPC uint64, branchRepair bool) {
+	// Find the cut point.
+	cut := len(c.rob)
+	for i := range c.rob {
+		if c.rob[i].tag >= fromTag {
+			cut = i
+			break
+		}
+	}
+	if !branchRepair {
+		if cut < len(c.rob) {
+			c.bp.SetHistory(c.rob[cut].histSnapshot)
+		} else if len(c.fetchQ) > 0 {
+			// Nothing in the ROB was killed, but the fetch buffer holds
+			// speculative predictions that polluted global history.
+			c.bp.SetHistory(c.fetchQ[0].hist)
+		}
+	}
+	killed := c.rob[cut:]
+	c.Stats.SquashedInstrs += uint64(len(killed)) + uint64(len(c.fetchQ))
+	c.rob = c.rob[:cut]
+
+	// Rebuild the rename map from survivors.
+	for i := range c.renameMap {
+		c.renameMap[i] = nil
+	}
+	for _, e := range c.rob {
+		if e.inst.WritesReg() {
+			c.renameMap[e.inst.Dst] = e
+		}
+	}
+
+	// Filter the side lists.
+	c.iq = filterOlder(c.iq, fromTag)
+	c.pend = filterOlder(c.pend, fromTag)
+	c.psd = filterOlder(c.psd, fromTag)
+
+	c.sq.Squash(fromTag)
+	if c.alq != nil {
+		c.alq.Squash(fromTag)
+	}
+	if c.eng != nil {
+		c.eng.OnSquash(fromTag)
+	}
+	if c.ssets != nil {
+		c.ssets.SquashTag(fromTag)
+	}
+	if c.dispatchBarrier >= fromTag {
+		c.dispatchBarrier = -1
+	}
+
+	for _, e := range killed {
+		c.pool.put(e)
+	}
+	c.fetchQ = c.fetchQ[:0]
+	c.fetchPC = newPC
+	// Redirect takes effect next cycle.
+	if c.fetchStallUntil <= c.cycle {
+		c.fetchStallUntil = c.cycle + 1
+	}
+}
+
+func filterOlder(s []*entry, fromTag int64) []*entry {
+	out := s[:0]
+	for _, e := range s {
+		if e.tag < fromTag {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// External events (wired by the system package).
+
+// HandleExternalInvalidation processes an invalidation (or castout)
+// observed by this core: baseline snooping/hybrid load queues search and
+// possibly squash; the no-recent-snoop filter opens its replay window.
+func (c *Core) HandleExternalInvalidation(block uint64) {
+	if c.alq != nil {
+		if sqz, found := c.alq.OnInvalidation(block); found {
+			c.Stats.SquashesInval++
+			c.squashFrom(sqz.Tag, sqz.PC, false)
+		}
+		return
+	}
+	if c.eng.Filter.NeedsSnoopEvents() {
+		c.eng.NoteExternalEvent(c.youngestLoadTag())
+	}
+}
+
+// HandleExternalFill feeds the no-recent-miss filter: a block entered
+// the local hierarchy from an external source.
+func (c *Core) HandleExternalFill(block uint64) {
+	if c.eng != nil && c.eng.Filter.NeedsMissEvents() {
+		c.eng.NoteExternalEvent(c.youngestLoadTag())
+	}
+}
+
+func (c *Core) youngestLoadTag() int64 {
+	for i := len(c.rob) - 1; i >= 0; i-- {
+		if c.rob[i].isLoad {
+			return c.rob[i].tag
+		}
+	}
+	return -1
+}
+
+// portCap returns the commit-stage cache port count (1 in the paper).
+func (c *Core) portCap() int {
+	if c.cfg.ReplayPerCycle > 1 {
+		return c.cfg.ReplayPerCycle
+	}
+	return 1
+}
+
+// ResetStats zeroes every statistics counter on the core and its
+// attached structures (used after cache warmup so measurements reflect
+// steady state). Architectural and microarchitectural state persist.
+func (c *Core) ResetStats() {
+	c.Stats = Stats{}
+	c.hier.Stats = cache.Stats{}
+	c.bp.Lookups, c.bp.Mispredicts = 0, 0
+	if c.eng != nil {
+		c.eng.Stats = core.Stats{}
+	}
+	if c.alq != nil {
+		c.alq.Searches = 0
+		c.alq.SearchedEntries = 0
+		c.alq.RAWSquashes = 0
+		c.alq.InvalSquashes = 0
+		c.alq.IssueSquashes = 0
+	}
+	c.sq.Searches = 0
+	c.simple.Trainings, c.simple.Waits = 0, 0
+	if c.ssets != nil {
+		c.ssets.Violations, c.ssets.Dependences = 0, 0
+	}
+}
+
+// ArchState returns a copy of the committed architectural state.
+func (c *Core) ArchState() prog.ArchState { return c.arch }

@@ -1,0 +1,130 @@
+// Package pipeline implements the 15-stage, 8-wide out-of-order
+// superscalar core of Table 3: fetch with combined branch prediction
+// (stopping at the first taken branch per cycle), rename/dispatch into a
+// 256-entry reorder buffer and 32-entry issue queue, dataflow issue to
+// the Table 3 functional-unit pool, a store queue with forwarding, and
+// in-order commit where stores write the L1 data cache. Memory ordering
+// is enforced either by a conventional associative load queue (package
+// lsq) or by value-based replay (package core), selected by the machine
+// configuration.
+package pipeline
+
+import (
+	"vbmo/internal/bpred"
+	"vbmo/internal/consistency"
+	"vbmo/internal/isa"
+)
+
+// entry is one reorder-buffer entry (a dynamic instruction in flight).
+// Dataflow uses direct producer pointers: a consumer is always younger
+// than its producers, so a squash that frees a producer also frees every
+// consumer holding a pointer to it.
+type entry struct {
+	tag  int64
+	pc   uint64
+	inst isa.Inst
+
+	// Dataflow. srcN is nil when the operand was ready at dispatch (its
+	// value is in srcNVal) or when the instruction does not read slot N.
+	src1, src2   *entry
+	src1Val      uint64
+	src2Val      uint64
+	reads1       bool
+	reads2       bool
+	histSnapshot uint64 // branch-history state at fetch, for repair
+
+	// Scheduling state.
+	inIQ   bool
+	issued bool
+	done   bool
+	// resultReady lets consumers read result before done (value
+	// prediction delivers results at dispatch).
+	resultReady bool
+	doneCycle   int64
+	result      uint64
+
+	// Branch state.
+	isBranch  bool
+	predTaken bool
+	meta      bpred.Meta
+	taken     bool
+
+	// Memory state.
+	isLoad, isStore bool
+	addr            uint64
+	addrValid       bool
+	value           uint64 // load premature value / store data
+	forwardTag      int64
+	loadDone        bool
+	agenDone        bool // store address in the store queue
+	dataDone        bool // store data in the store queue
+	waitStoreTag    int64
+	nus             bool // issued past an unresolved store address
+	reordered       bool // issued while prior memory ops incomplete
+
+	// Provenance (consistency tracking): the identity of the store
+	// whose value this load observed, sampled with the value.
+	writer       consistency.Writer
+	replayWriter consistency.Writer
+
+	// Value prediction state.
+	valuePredicted bool
+
+	// Replay state (value-replay machines).
+	replayDecided bool
+	needReplay    bool
+	replayIssued  bool
+	replayCycle   int64
+	replayValue   uint64
+	replayedOK    bool
+	noReplay      bool // forward-progress rule 3 mark
+}
+
+// srcReady reports whether operand slot n is available and returns its
+// value.
+func (e *entry) srcReady(n int) (uint64, bool) {
+	var p *entry
+	var v uint64
+	var reads bool
+	if n == 1 {
+		p, v, reads = e.src1, e.src1Val, e.reads1
+	} else {
+		p, v, reads = e.src2, e.src2Val, e.reads2
+	}
+	if !reads {
+		return 0, true
+	}
+	if p == nil {
+		return v, true
+	}
+	if p.done || p.resultReady {
+		return p.result, true
+	}
+	return 0, false
+}
+
+// pool is a freelist of entries; the pipeline allocates several entries
+// per cycle and this keeps GC pressure negligible.
+type pool struct{ free []*entry }
+
+func (p *pool) get() *entry {
+	if n := len(p.free); n > 0 {
+		e := p.free[n-1]
+		p.free = p.free[:n-1]
+		*e = entry{}
+		return e
+	}
+	return &entry{}
+}
+
+func (p *pool) put(e *entry) { p.free = append(p.free, e) }
+
+// fetched is one instruction in the fetch-to-dispatch buffer.
+type fetched struct {
+	pc         uint64
+	inst       isa.Inst
+	predTaken  bool
+	meta       bpred.Meta
+	hist       uint64
+	readyCycle int64
+}

@@ -1,0 +1,407 @@
+package pipeline
+
+// White-box microarchitecture tests: rename, dataflow, squash recovery,
+// structural hazards, store data capture, membar semantics, and fetch
+// behaviour — all against hand-built programs on a real core.
+
+import (
+	"testing"
+
+	"vbmo/internal/cache"
+	"vbmo/internal/config"
+	ecore "vbmo/internal/core"
+	"vbmo/internal/isa"
+	"vbmo/internal/prog"
+)
+
+const testBase = uint64(0x40000)
+
+// archReg reads a committed architectural register.
+func archReg(c *Core, r isa.Reg) uint64 {
+	st := c.ArchState()
+	return st.ReadReg(r)
+}
+
+// mkCore builds a uniprocessor core over a private hierarchy.
+func mkCore(cfg config.Machine, p *prog.Program, init prog.ArchState) (*Core, *prog.Image) {
+	img := prog.NewImage(11)
+	hier := cache.NewHierarchy(0, cfg.Hier, cache.MemoryBackend{Latency: cfg.MemLatency})
+	c := New(0, cfg, p, img, hier, init)
+	return c, img
+}
+
+// runFor steps the core until n instructions commit (or a bound).
+func runFor(t *testing.T, c *Core, n uint64) {
+	t.Helper()
+	for i := 0; i < int(n)*300+3000; i++ {
+		if c.Stats.Committed >= n {
+			return
+		}
+		c.Step()
+	}
+	t.Fatalf("core stalled: committed %d of %d after bound (cycle %d)",
+		c.Stats.Committed, n, c.cycle)
+}
+
+func initState() prog.ArchState {
+	var s prog.ArchState
+	s.WriteReg(1, testBase)
+	s.WriteReg(9, 3)
+	return s
+}
+
+// straightline builds: r20 = r20+1 repeated n times inside a loop.
+func straightline() *prog.Program {
+	b := prog.NewBuilder(0x1000)
+	top := b.Here()
+	for i := 0; i < 12; i++ {
+		b.Emit(isa.Inst{Op: isa.OpAddI, Dst: 20, Src1: 20, Imm: 1})
+	}
+	b.Branch(isa.OpJump, 0, top)
+	return b.Build()
+}
+
+func TestDataflowChainCommits(t *testing.T) {
+	c, _ := mkCore(config.Baseline(), straightline(), initState())
+	runFor(t, c, 130)
+	// Ten loop iterations: r20 has been incremented once per committed
+	// addi. Count addis committed via arch state after exact commits.
+	got := archReg(c, 20)
+	// committed includes jumps: each iteration = 12 addi + 1 jump.
+	addis := c.Stats.Committed - c.Stats.CommittedBranches
+	if got != addis {
+		t.Errorf("r20 = %d, want %d (serial chain broken)", got, addis)
+	}
+}
+
+func TestSerialChainIPCBounded(t *testing.T) {
+	// A pure serial dependence chain cannot exceed ~1 IPC regardless of
+	// width.
+	c, _ := mkCore(config.Baseline(), straightline(), initState())
+	runFor(t, c, 2000)
+	if ipc := c.Stats.IPC(); ipc > 1.3 {
+		t.Errorf("serial chain IPC %.2f exceeds dataflow bound", ipc)
+	}
+}
+
+func TestIndependentOpsExploitWidth(t *testing.T) {
+	// Independent ops across many registers should push IPC well above
+	// the serial bound.
+	b := prog.NewBuilder(0x1000)
+	top := b.Here()
+	for i := 0; i < 24; i++ {
+		dst := isa.Reg(20 + i%8)
+		b.Emit(isa.Inst{Op: isa.OpAddI, Dst: dst, Src1: dst, Imm: 1})
+	}
+	b.Branch(isa.OpJump, 0, top)
+	c, _ := mkCore(config.Baseline(), b.Build(), initState())
+	runFor(t, c, 4000)
+	if ipc := c.Stats.IPC(); ipc < 2.0 {
+		t.Errorf("8 independent chains IPC %.2f; expected superscalar speedup", ipc)
+	}
+}
+
+func TestRenameAcrossSquash(t *testing.T) {
+	// A mispredicted branch squashes wrong-path writers; the rename map
+	// must recover so later readers see the committed value.
+	b := prog.NewBuilder(0x1000)
+	top := b.Here()
+	b.Emit(isa.Inst{Op: isa.OpAddI, Dst: 20, Src1: 20, Imm: 1})
+	// Branch on low bit of r20: alternates, so some mispredicts happen.
+	b.Emit(isa.Inst{Op: isa.OpAnd, Dst: 12, Src1: 20, Src2: 34}) // r34=1
+	skip := b.NewLabel()
+	b.Branch(isa.OpBnez, 12, skip)
+	b.Emit(isa.Inst{Op: isa.OpAddI, Dst: 21, Src1: 21, Imm: 10})
+	b.Bind(skip)
+	b.Emit(isa.Inst{Op: isa.OpAdd, Dst: 22, Src1: 21, Src2: 20})
+	b.Branch(isa.OpJump, 0, top)
+	p := b.Build()
+
+	st := initState()
+	st.WriteReg(34, 1)
+	c, _ := mkCore(config.Baseline(), p, st)
+	runFor(t, c, 3000)
+	if c.Stats.SquashesMispredict == 0 {
+		t.Fatal("alternating branch never mispredicted")
+	}
+	// Oracle check of final state.
+	ex := prog.NewExecutor(p, prog.NewImage(11), st)
+	ex.Run(int(c.Stats.Committed))
+	for _, r := range []isa.Reg{20, 21, 22} {
+		if archReg(c, r) != ex.State.ReadReg(r) {
+			t.Errorf("r%d = %d, oracle %d (rename recovery broken)",
+				r, archReg(c, r), ex.State.ReadReg(r))
+		}
+	}
+}
+
+func TestDivLatency(t *testing.T) {
+	// A chain of dependent divides commits no faster than DivLat each.
+	b := prog.NewBuilder(0x1000)
+	top := b.Here()
+	for i := 0; i < 4; i++ {
+		b.Emit(isa.Inst{Op: isa.OpDiv, Dst: 20, Src1: 20, Src2: 9})
+		b.Emit(isa.Inst{Op: isa.OpAddI, Dst: 20, Src1: 20, Imm: 1000000})
+	}
+	b.Branch(isa.OpJump, 0, top)
+	st := initState()
+	st.WriteReg(20, 1<<60)
+	c, _ := mkCore(config.Baseline(), b.Build(), st)
+	runFor(t, c, 900)
+	cfg := config.Baseline()
+	wantMin := float64(cfg.DivLat+cfg.IntLat) / 2.5 // cycles per instr lower bound (loose)
+	cpi := float64(c.Stats.Cycles) / float64(c.Stats.Committed)
+	if cpi < wantMin {
+		t.Errorf("CPI %.2f under dependent-divide bound %.2f", cpi, wantMin)
+	}
+}
+
+func TestFUContention(t *testing.T) {
+	// Functional units model issue bandwidth (fully pipelined): with 3
+	// divide issues per cycle, 12 independent divides per iteration
+	// need at least 4 issue cycles; with 1 unit, 12. Compare.
+	mk := func(units int) float64 {
+		b := prog.NewBuilder(0x1000)
+		top := b.Here()
+		for i := 0; i < 12; i++ {
+			b.Emit(isa.Inst{Op: isa.OpDiv, Dst: isa.Reg(20 + i%12), Src1: 9, Src2: 9})
+		}
+		b.Branch(isa.OpJump, 0, top)
+		cfg := config.Baseline()
+		cfg.IntMulDiv = units
+		c, _ := mkCore(cfg, b.Build(), initState())
+		runFor(t, c, 1200)
+		return float64(c.Stats.Cycles) / float64(c.Stats.Committed)
+	}
+	cpi3 := mk(3)
+	cpi1 := mk(1)
+	if cpi1 < cpi3*1.8 {
+		t.Errorf("divider-count contention invisible: cpi(1 unit)=%.2f cpi(3 units)=%.2f", cpi1, cpi3)
+	}
+	// Issue-bandwidth lower bound with 1 unit: 12 divides/iteration of
+	// 13 instructions → CPI ≥ 12/13.
+	if cpi1 < 12.0/13.0 {
+		t.Errorf("CPI %.2f beats the 1-divider issue bound", cpi1)
+	}
+}
+
+func TestStoreLoadForwardingValue(t *testing.T) {
+	// st [r1], r20 ; ld r21,[r1] — the load's committed value must be
+	// the store's, via forwarding (store cannot have committed first
+	// when the load issues promptly).
+	b := prog.NewBuilder(0x1000)
+	top := b.Here()
+	// A dependent divide chain ahead of the pair keeps the store away
+	// from the reorder-buffer head, so its data must be forwarded from
+	// the store queue rather than read from the cache after commit.
+	b.Emit(isa.Inst{Op: isa.OpDiv, Dst: 25, Src1: 25, Src2: 9})
+	b.Emit(isa.Inst{Op: isa.OpDiv, Dst: 25, Src1: 25, Src2: 9})
+	b.Emit(isa.Inst{Op: isa.OpAddI, Dst: 25, Src1: 25, Imm: 1000000})
+	b.Emit(isa.Inst{Op: isa.OpAddI, Dst: 20, Src1: 20, Imm: 7})
+	b.Emit(isa.Inst{Op: isa.OpStore, Src1: 1, Src2: 20})
+	b.Emit(isa.Inst{Op: isa.OpLoad, Dst: 21, Src1: 1})
+	b.Branch(isa.OpJump, 0, top)
+	st := initState()
+	st.WriteReg(25, 1<<60)
+	c, _ := mkCore(config.Baseline(), b.Build(), st)
+	runFor(t, c, 800)
+	if c.Stats.ForwardedLoads == 0 {
+		t.Error("no forwarding observed")
+	}
+	// r21 must equal r20's value at each iteration; final check:
+	if archReg(c, 21) == 0 {
+		t.Error("forwarded value lost")
+	}
+	if c.Stats.SquashesRAW > 0 {
+		t.Error("forwarding pair must not squash")
+	}
+}
+
+func TestMembarDrainsROB(t *testing.T) {
+	b := prog.NewBuilder(0x1000)
+	top := b.Here()
+	b.Emit(isa.Inst{Op: isa.OpAddI, Dst: 20, Src1: 20, Imm: 1})
+	b.Emit(isa.Inst{Op: isa.OpMembar})
+	b.Emit(isa.Inst{Op: isa.OpAddI, Dst: 21, Src1: 21, Imm: 1})
+	b.Branch(isa.OpJump, 0, top)
+	c, _ := mkCore(config.Baseline(), b.Build(), initState())
+	runFor(t, c, 500)
+	if c.Stats.StallBarrier == 0 {
+		t.Error("membar never stalled dispatch")
+	}
+	// Occupancy must stay tiny: the barrier drains the window.
+	if occ := c.Stats.AvgROBOccupancy(); occ > 8 {
+		t.Errorf("ROB occupancy %.1f with a membar every 4 instructions", occ)
+	}
+	// And correctness holds.
+	if archReg(c, 20) != archReg(c, 21) &&
+		archReg(c, 20) != archReg(c, 21)+1 {
+		t.Error("membar-separated counters diverged")
+	}
+}
+
+func TestIQCapacityStalls(t *testing.T) {
+	// A long-latency producer with many dependents fills the 32-entry
+	// issue queue and stalls dispatch.
+	b := prog.NewBuilder(0x1000)
+	top := b.Here()
+	b.Emit(isa.Inst{Op: isa.OpDiv, Dst: 20, Src1: 20, Src2: 9})
+	for i := 0; i < 40; i++ {
+		b.Emit(isa.Inst{Op: isa.OpAdd, Dst: 21, Src1: 20, Src2: 21})
+	}
+	b.Branch(isa.OpJump, 0, top)
+	st := initState()
+	st.WriteReg(20, 1<<62)
+	c, _ := mkCore(config.Baseline(), b.Build(), st)
+	runFor(t, c, 600)
+	if c.Stats.StallIQ == 0 {
+		t.Error("dependent swarm never filled the issue queue")
+	}
+}
+
+func TestLQCapacityStallsDispatch(t *testing.T) {
+	cfg := config.ConstrainedBaseline(16)
+	// Loads that all miss to memory pile up in the load queue.
+	b := prog.NewBuilder(0x1000)
+	top := b.Here()
+	for i := 0; i < 24; i++ {
+		b.Emit(isa.Inst{Op: isa.OpAddI, Dst: 11, Src1: 11, Imm: 4096})
+		b.Emit(isa.Inst{Op: isa.OpLoad, Dst: isa.Reg(20 + i%8), Src1: 11})
+	}
+	b.Branch(isa.OpJump, 0, top)
+	c, _ := mkCore(cfg, b.Build(), initState())
+	runFor(t, c, 400)
+	if c.Stats.StallLQ == 0 {
+		t.Error("16-entry load queue never stalled dispatch")
+	}
+}
+
+func TestReplayMachineCommitsSameStream(t *testing.T) {
+	// The same program on baseline and replay-all must commit identical
+	// streams (local determinism of the two ordering mechanisms).
+	p := straightline()
+	var streams [2][]prog.Committed
+	for i, cfg := range []config.Machine{config.Baseline(), config.Replay(ecore.ReplayAll)} {
+		c, _ := mkCore(cfg, p, initState())
+		idx := i
+		c.CommitHook = func(r prog.Committed) { streams[idx] = append(streams[idx], r) }
+		runFor(t, c, 500)
+	}
+	n := len(streams[0])
+	if len(streams[1]) < n {
+		n = len(streams[1])
+	}
+	for i := 0; i < n; i++ {
+		a, b := streams[0][i], streams[1][i]
+		if a.PC != b.PC || a.Result != b.Result {
+			t.Fatalf("streams diverge at %d: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestResetStatsPreservesState(t *testing.T) {
+	c, _ := mkCore(config.Replay(ecore.NoRecentSnoop), straightline(), initState())
+	runFor(t, c, 300)
+	r20 := archReg(c, 20)
+	c.ResetStats()
+	if c.Stats.Committed != 0 || c.Stats.Cycles != 0 {
+		t.Error("stats not reset")
+	}
+	if archReg(c, 20) != r20 {
+		t.Error("architectural state must survive reset")
+	}
+	runFor(t, c, 100) // continues from preserved state
+	if archReg(c, 20) <= r20 {
+		t.Error("core did not continue after reset")
+	}
+}
+
+func TestWrongPathLoadsAccessCache(t *testing.T) {
+	// Wrong-path execution must generate cache traffic (the paper's
+	// Figure 6 denominator includes it). Build a hard-to-predict branch
+	// guarding a load.
+	b := prog.NewBuilder(0x1000)
+	top := b.Here()
+	// The branch condition depends on a divide chain, so it resolves
+	// long after the wrong-path loads have dispatched and issued.
+	b.Emit(isa.Inst{Op: isa.OpDiv, Dst: 25, Src1: 25, Src2: 9})
+	b.Emit(isa.Inst{Op: isa.OpAddI, Dst: 25, Src1: 25, Imm: 999999937})
+	b.Emit(isa.Inst{Op: isa.OpAnd, Dst: 12, Src1: 25, Src2: 34})
+	skip := b.NewLabel()
+	b.Branch(isa.OpBnez, 12, skip)
+	b.Emit(isa.Inst{Op: isa.OpLoad, Dst: 21, Src1: 1})
+	b.Emit(isa.Inst{Op: isa.OpLoad, Dst: 22, Src1: 1, Imm: 8})
+	b.Bind(skip)
+	b.Emit(isa.Inst{Op: isa.OpAddI, Dst: 23, Src1: 23, Imm: 1})
+	b.Branch(isa.OpJump, 0, top)
+	st := initState()
+	st.WriteReg(34, 1)
+	st.WriteReg(25, 1<<61)
+	c, _ := mkCore(config.Baseline(), b.Build(), st)
+	runFor(t, c, 2000)
+	if c.Stats.DemandLoadAccesses <= c.Stats.CommittedLoads {
+		t.Errorf("no wrong-path loads: demand=%d committed=%d",
+			c.Stats.DemandLoadAccesses, c.Stats.CommittedLoads)
+	}
+}
+
+func TestRule3MarkOnRefetch(t *testing.T) {
+	// With SquashIncludesLoad, a replay-mismatching load is refetched
+	// and must not be replayed a second time (forward-progress rule 3).
+	cfg := config.Replay(ecore.ReplayAll)
+	cfg.SquashIncludesLoad = true
+	// Late-address silent..non-silent store + premature load (the
+	// Figure 1(a) shape, guaranteeing mismatches).
+	b := prog.NewBuilder(0x1000)
+	top := b.Here()
+	b.Emit(isa.Inst{Op: isa.OpAddI, Dst: 20, Src1: 20, Imm: 1})
+	b.Emit(isa.Inst{Op: isa.OpDiv, Dst: 14, Src1: 20, Src2: 9})
+	b.Emit(isa.Inst{Op: isa.OpXor, Dst: 15, Src1: 14, Src2: 14})
+	b.Emit(isa.Inst{Op: isa.OpAdd, Dst: 13, Src1: 1, Src2: 15})
+	b.Emit(isa.Inst{Op: isa.OpStore, Src1: 13, Src2: 20})
+	b.Emit(isa.Inst{Op: isa.OpLoad, Dst: 21, Src1: 1})
+	b.Branch(isa.OpJump, 0, top)
+	c, _ := mkCore(cfg, b.Build(), initState())
+	runFor(t, c, 2000)
+	if c.Stats.SquashesReplayRAW == 0 {
+		t.Fatal("no replay squashes produced")
+	}
+	if c.Engine().Stats.Rule3Skips == 0 {
+		t.Error("rule 3 never suppressed a refetched load's replay")
+	}
+	// Forward progress: committed target reached (runFor asserts).
+}
+
+func TestBTBMissCausesFetchBubble(t *testing.T) {
+	// Compare cycles for a tight loop with a cold vs warm BTB via two
+	// runs: the second window (post-warm) must be faster per iteration.
+	p := straightline()
+	c, _ := mkCore(config.Baseline(), p, initState())
+	runFor(t, c, 130)
+	firstCycles := c.Stats.Cycles
+	c.ResetStats()
+	runFor(t, c, 130)
+	if c.Stats.Cycles > firstCycles {
+		t.Errorf("warm run slower than cold: %d vs %d", c.Stats.Cycles, firstCycles)
+	}
+}
+
+func TestSquashedInstrsCounted(t *testing.T) {
+	st := initState()
+	st.WriteReg(34, 1)
+	b := prog.NewBuilder(0x1000)
+	top := b.Here()
+	b.Emit(isa.Inst{Op: isa.OpAddI, Dst: 20, Src1: 20, Imm: 1})
+	b.Emit(isa.Inst{Op: isa.OpAnd, Dst: 12, Src1: 20, Src2: 34})
+	skip := b.NewLabel()
+	b.Branch(isa.OpBnez, 12, skip)
+	b.Emit(isa.Inst{Op: isa.OpAddI, Dst: 21, Src1: 21, Imm: 1})
+	b.Bind(skip)
+	b.Branch(isa.OpJump, 0, top)
+	c, _ := mkCore(config.Baseline(), b.Build(), st)
+	runFor(t, c, 1500)
+	if c.Stats.SquashesMispredict == 0 || c.Stats.SquashedInstrs == 0 {
+		t.Errorf("mispredicts=%d squashed=%d",
+			c.Stats.SquashesMispredict, c.Stats.SquashedInstrs)
+	}
+}

@@ -1,0 +1,72 @@
+package pipeline
+
+// Stats are one core's pipeline-level measurements. The experiment
+// harness derives every figure's series from these plus the cache,
+// load-queue, and replay-engine counters.
+type Stats struct {
+	Cycles    int64
+	Committed uint64
+
+	CommittedLoads    uint64
+	CommittedStores   uint64
+	CommittedBranches uint64
+	SilentStores      uint64
+
+	// Data-cache bandwidth accounting (Figure 6). DemandLoadAccesses
+	// counts premature load cache accesses including wrong-path ones;
+	// ForwardedLoads got their value from the store queue;
+	// ReplayAccesses are the replay stage's extra cache reads;
+	// StoreAccesses are commit-stage store writes.
+	DemandLoadAccesses uint64
+	ForwardedLoads     uint64
+	ReplayAccesses     uint64
+	StoreAccesses      uint64
+
+	// Squash accounting.
+	SquashesMispredict uint64
+	SquashesRAW        uint64 // baseline LQ store-agen violations
+	SquashesInval      uint64 // baseline LQ snoop violations
+	SquashesLoadIssue  uint64 // insulated/hybrid load-issue violations
+	SquashesReplayRAW  uint64 // replay mismatches on NUS loads
+	SquashesReplayCons uint64 // replay mismatches on non-NUS loads
+	SquashedInstrs     uint64
+
+	// Flag rates for the filters.
+	LoadsNUSFlagged uint64
+	LoadsReordered  uint64
+
+	// Value prediction (optional).
+	ValuePredictedLoads     uint64 // predictions issued at dispatch
+	ValuePredictedCommitted uint64 // predicted loads that committed
+	SquashesVPred           uint64
+
+	// Occupancy (Figure 7): ROBOccupancySum / Cycles is the average
+	// reorder-buffer utilization.
+	ROBOccupancySum uint64
+
+	// Dispatch stall causes.
+	StallROB, StallIQ, StallLQ, StallSQ, StallBarrier uint64
+}
+
+// IPC returns committed instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(s.Cycles)
+}
+
+// AvgROBOccupancy returns the Figure 7 metric.
+func (s *Stats) AvgROBOccupancy() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.ROBOccupancySum) / float64(s.Cycles)
+}
+
+// TotalL1DAccesses returns all data-cache accesses: premature loads,
+// replays, and stores (forwarded loads probe the store queue, not the
+// cache).
+func (s *Stats) TotalL1DAccesses() uint64 {
+	return s.DemandLoadAccesses + s.ReplayAccesses + s.StoreAccesses
+}

@@ -1,0 +1,214 @@
+package prog
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vbmo/internal/isa"
+)
+
+func TestImageBackgroundDeterministic(t *testing.T) {
+	a := NewImage(42)
+	b := NewImage(42)
+	c := NewImage(43)
+	for addr := uint64(0); addr < 1<<16; addr += 8 {
+		if a.Read(addr) != b.Read(addr) {
+			t.Fatalf("same-seed images disagree at %#x", addr)
+		}
+	}
+	same := 0
+	for addr := uint64(0); addr < 1<<12; addr += 8 {
+		if a.Read(addr) == c.Read(addr) {
+			same++
+		}
+	}
+	if same > 4 {
+		t.Errorf("different seeds produce %d identical words of 512", same)
+	}
+}
+
+func TestImageReadWrite(t *testing.T) {
+	im := NewImage(1)
+	im.Write(0x1000, 99)
+	if got := im.Read(0x1000); got != 99 {
+		t.Errorf("Read = %d, want 99", got)
+	}
+	// Unaligned access aligns down.
+	im.Write(0x2003, 7)
+	if got := im.Read(0x2000); got != 7 {
+		t.Errorf("unaligned write should align down; Read(0x2000) = %d", got)
+	}
+	if got := im.Read(0x2005); got != 7 {
+		t.Errorf("unaligned read should align down; got %d", got)
+	}
+}
+
+func TestImageSilentStoreDetection(t *testing.T) {
+	im := NewImage(7)
+	v := im.Read(0x4000)
+	if !im.Write(0x4000, v) {
+		t.Error("writing the existing value should be silent")
+	}
+	if im.Write(0x4000, v+1) {
+		t.Error("writing a different value is not silent")
+	}
+	if !im.Write(0x4000, v+1) {
+		t.Error("rewriting the same value is silent")
+	}
+}
+
+func TestImageWriteReadProperty(t *testing.T) {
+	im := NewImage(3)
+	err := quick.Check(func(addr, val uint64) bool {
+		im.Write(addr, val)
+		return im.Read(addr) == val
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestImagePagesSparse(t *testing.T) {
+	im := NewImage(0)
+	for i := 0; i < 100; i++ {
+		im.Read(uint64(i) << 20) // reads do not materialize pages
+	}
+	if im.Pages() != 0 {
+		t.Errorf("reads materialized %d pages", im.Pages())
+	}
+	im.Write(0, 1)
+	im.Write(1<<20, 1)
+	if im.Pages() != 2 {
+		t.Errorf("Pages = %d, want 2", im.Pages())
+	}
+}
+
+func TestArchStateR0(t *testing.T) {
+	var s ArchState
+	s.WriteReg(isa.RZero, 55)
+	if s.ReadReg(isa.RZero) != 0 {
+		t.Error("R0 must read as zero")
+	}
+	s.WriteReg(5, 55)
+	if s.ReadReg(5) != 55 {
+		t.Error("regular register write lost")
+	}
+}
+
+// buildCountdownLoop builds: r1 = n; loop: r1 = r1 - 1 (via addi -1);
+// store r1 -> [r2]; load r3 <- [r2]; bnez r1, loop; then jump to self.
+func buildCountdownLoop(n int64) *Program {
+	b := NewBuilder(0x1000)
+	b.Emit(isa.Inst{Op: isa.OpLui, Dst: 1, Imm: n})
+	b.Emit(isa.Inst{Op: isa.OpLui, Dst: 2, Imm: 0x8000})
+	loop := b.Here()
+	b.Emit(isa.Inst{Op: isa.OpAddI, Dst: 1, Src1: 1, Imm: -1})
+	b.Emit(isa.Inst{Op: isa.OpStore, Src1: 2, Src2: 1})
+	b.Emit(isa.Inst{Op: isa.OpLoad, Dst: 3, Src1: 2})
+	b.Branch(isa.OpBnez, 1, loop)
+	end := b.Here()
+	b.Branch(isa.OpJump, 0, end)
+	return b.Build()
+}
+
+func TestExecutorCountdownLoop(t *testing.T) {
+	p := buildCountdownLoop(3)
+	im := NewImage(9)
+	ex := NewExecutor(p, im, ArchState{})
+	// 2 setup + 3 iterations * 4 instructions = 14 instructions.
+	recs := ex.Run(14)
+	if ex.InstRet != 14 {
+		t.Fatalf("InstRet = %d", ex.InstRet)
+	}
+	// After 3 iterations r1 == 0, memory holds 0.
+	if got := im.Read(0x8000); got != 0 {
+		t.Errorf("final store value = %d, want 0", got)
+	}
+	if ex.State.ReadReg(3) != 0 {
+		t.Errorf("load result = %d, want 0", ex.State.ReadReg(3))
+	}
+	// The final bnez must be not-taken.
+	last := recs[13]
+	if last.Op != isa.OpBnez || last.Taken {
+		t.Errorf("iteration-ending branch: op=%v taken=%v", last.Op, last.Taken)
+	}
+	// Loads observe the value just stored (RAW through memory).
+	for _, r := range recs {
+		if r.Op == isa.OpLoad && r.Addr != 0x8000 {
+			t.Errorf("unexpected load address %#x", r.Addr)
+		}
+	}
+}
+
+func TestExecutorJumpSelfLoops(t *testing.T) {
+	p := buildCountdownLoop(1)
+	ex := NewExecutor(p, NewImage(0), ArchState{})
+	recs := ex.Run(20)
+	// After setup(2)+iter(4), the program spins on the self-jump.
+	for _, r := range recs[6:] {
+		if r.Op != isa.OpJump || !r.Taken {
+			t.Fatalf("expected self-jump spin, got %v", r.Op)
+		}
+	}
+}
+
+func TestFetchOutsideProgram(t *testing.T) {
+	p := &Program{Entry: 0x1000, Code: []isa.Inst{{Op: isa.OpAdd}}}
+	if _, ok := p.Fetch(0x0ff0); ok {
+		t.Error("fetch below entry should fail")
+	}
+	if _, ok := p.Fetch(0x1004); ok {
+		t.Error("fetch past end should fail")
+	}
+	if in, ok := p.Fetch(0x1000); !ok || in.Op != isa.OpAdd {
+		t.Error("fetch at entry failed")
+	}
+}
+
+func TestBuilderForwardBackwardBranches(t *testing.T) {
+	b := NewBuilder(0)
+	fwd := b.NewLabel()
+	b.Branch(isa.OpJump, 0, fwd) // index 0
+	b.Emit(isa.Inst{Op: isa.OpNop})
+	b.Bind(fwd) // index 2
+	back := b.Here()
+	b.Branch(isa.OpBeqz, 1, back) // index 2, displacement 0
+	p := b.Build()
+	if p.Code[0].Imm != 2 {
+		t.Errorf("forward displacement = %d, want 2", p.Code[0].Imm)
+	}
+	if p.Code[2].Imm != 0 {
+		t.Errorf("backward displacement = %d, want 0", p.Code[2].Imm)
+	}
+	// NextPC honors displacements in slots.
+	if got := p.NextPC(p.Code[0], 0, true); got != 2*InstBytes {
+		t.Errorf("NextPC taken = %#x", got)
+	}
+	if got := p.NextPC(p.Code[0], 0, false); got != InstBytes {
+		t.Errorf("NextPC fallthrough = %#x", got)
+	}
+}
+
+func TestBuilderUnboundLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Build with unbound label should panic")
+		}
+	}()
+	b := NewBuilder(0)
+	b.Branch(isa.OpJump, 0, b.NewLabel())
+	b.Build()
+}
+
+func TestExecutorDeterminism(t *testing.T) {
+	run := func() []Committed {
+		p := buildCountdownLoop(50)
+		return NewExecutor(p, NewImage(77), ArchState{}).Run(300)
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic execution at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

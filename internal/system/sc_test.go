@@ -1,0 +1,84 @@
+package system
+
+// End-to-end sequential-consistency verification: the constraint-graph
+// checker runs over real multiprocessor executions. Sound configurations
+// (baseline snooping LQ; replay-all; no-reorder; NRM+NUS; NRS+NUS) must
+// produce acyclic graphs; the deliberately mis-composed NUS-only filter
+// (paper §3.3) must eventually produce a violation under contention.
+
+import (
+	"testing"
+
+	"vbmo/internal/config"
+	"vbmo/internal/core"
+	"vbmo/internal/workload"
+)
+
+func runSC(t *testing.T, cfg config.Machine, seed uint64) (bool, *System) {
+	t.Helper()
+	work, _ := workload.ByName("jbb-mp")
+	// Crank contention: almost all shared accesses hit the hot set and
+	// collide on the same words.
+	work.SharedFrac = 0.5
+	work.HotFrac = 0.9
+	work.FalseSharing = 0.0
+	opt := Options{Cores: 4, Seed: seed, TrackConsistency: true}
+	s := New(cfg, work, opt)
+	s.Run(4000, opt)
+	_, cyc, _ := s.CheckSC()
+	return cyc, s
+}
+
+func TestBaselineIsSequentiallyConsistent(t *testing.T) {
+	if cyc, _ := runSC(t, config.Baseline(), 11); cyc {
+		t.Error("baseline snooping-LQ execution has a constraint-graph cycle")
+	}
+}
+
+func TestReplayAllIsSequentiallyConsistent(t *testing.T) {
+	if cyc, _ := runSC(t, config.Replay(core.ReplayAll), 12); cyc {
+		t.Error("replay-all execution has a constraint-graph cycle")
+	}
+}
+
+func TestNoReorderIsSequentiallyConsistent(t *testing.T) {
+	if cyc, _ := runSC(t, config.Replay(core.NoReorder), 13); cyc {
+		t.Error("no-reorder execution has a constraint-graph cycle")
+	}
+}
+
+func TestNRSNUSIsSequentiallyConsistent(t *testing.T) {
+	if cyc, _ := runSC(t, config.Replay(core.NoRecentSnoop), 14); cyc {
+		t.Error("no-recent-snoop+NUS execution has a constraint-graph cycle")
+	}
+}
+
+func TestNRMNUSIsSequentiallyConsistent(t *testing.T) {
+	if cyc, _ := runSC(t, config.Replay(core.NoRecentMiss), 15); cyc {
+		t.Error("no-recent-miss+NUS execution has a constraint-graph cycle")
+	}
+}
+
+func TestNUSOnlyIsUnsoundInMultiprocessors(t *testing.T) {
+	// Paper §3.3: the no-unresolved-store filter alone preserves
+	// uniprocessor RAW dependences but not the consistency model. Under
+	// heavy same-word contention a violation should appear within a few
+	// seeds.
+	for seed := uint64(20); seed < 28; seed++ {
+		if cyc, _ := runSC(t, config.Replay(core.NUSOnly), seed); cyc {
+			return // violation demonstrated
+		}
+	}
+	t.Skip("no NUS-only violation surfaced across seeds (contention-dependent); " +
+		"soundness of the composed filters is asserted by the other tests")
+}
+
+func TestUniprocessorTrivialSC(t *testing.T) {
+	work, _ := workload.ByName("gcc")
+	opt := Options{Cores: 1, Seed: 3, TrackConsistency: true}
+	s := New(config.Replay(core.NoRecentSnoop), work, opt)
+	s.Run(5000, opt)
+	if _, cyc, _ := s.CheckSC(); cyc {
+		t.Error("uniprocessor execution cannot violate SC")
+	}
+}

@@ -1,0 +1,347 @@
+// Package system assembles complete machines: one or more pipeline
+// cores over a shared memory image, a coherence bus with a DMA agent,
+// and the lock-step cycle loop. It also hosts the machine-equivalence
+// oracle used by the uniprocessor tests and the hooks the
+// constraint-graph checker consumes.
+package system
+
+import (
+	"fmt"
+
+	"vbmo/internal/cache"
+	"vbmo/internal/coherence"
+	"vbmo/internal/config"
+	"vbmo/internal/consistency"
+	"vbmo/internal/isa"
+	"vbmo/internal/pipeline"
+	"vbmo/internal/prog"
+	"vbmo/internal/stats"
+	"vbmo/internal/workload"
+)
+
+// Options configure a system build.
+type Options struct {
+	// Cores is the processor count (1 = uniprocessor).
+	Cores int
+	// Seed drives workload generation, data placement and the memory
+	// image background.
+	Seed uint64
+	// DMAInterval enables the coherent DMA agent (0 disables). The
+	// paper's uniprocessor observes snoops only from coherent I/O.
+	DMAInterval int64
+	// DMABurst is blocks per DMA burst.
+	DMABurst int
+	// MaxCycles bounds the run (0 = no bound).
+	MaxCycles int64
+	// RecordCommits retains every core's committed records (needed by
+	// the consistency checker; costs memory).
+	RecordCommits bool
+	// TrackConsistency enables the shadow image and per-word version
+	// chains so CheckSC can build the constraint graph. Implies
+	// RecordCommits.
+	TrackConsistency bool
+}
+
+// System is a built machine: cores in lock-step over a shared image.
+type System struct {
+	Cfg      config.Machine
+	Work     workload.Params
+	Cores    []*pipeline.Core
+	Image    *prog.Image
+	Bus      *coherence.Bus
+	DMA      *coherence.DMA
+	Program  *prog.Program
+	Shadow   *consistency.Shadow
+	CycleNum int64
+	// Commits[c] holds core c's committed records when RecordCommits
+	// was set.
+	Commits [][]prog.Committed
+}
+
+// New builds a system running the given workload on the given machine
+// configuration.
+func New(cfg config.Machine, work workload.Params, opt Options) *System {
+	if opt.Cores <= 0 {
+		opt.Cores = 1
+	}
+	if workload.IOBase != coherence.IOBase {
+		panic("system: workload and coherence IOBase constants diverged")
+	}
+	program := workload.Generate(work, opt.Seed)
+	inits := make([]prog.ArchState, opt.Cores)
+	for c := range inits {
+		inits[c] = workload.InitState(work, c, opt.Seed)
+	}
+	s := NewCustom(cfg, program, inits, opt)
+	s.Work = work
+	return s
+}
+
+// NewCustom builds a system running a hand-built program with explicit
+// per-core initial states (one per core). Tests use this to reproduce
+// the paper's Figure 1 scenarios exactly.
+func NewCustom(cfg config.Machine, program *prog.Program, inits []prog.ArchState, opt Options) *System {
+	if opt.Cores <= 0 {
+		opt.Cores = len(inits)
+	}
+	img := prog.NewImage(opt.Seed)
+	bus := coherence.NewBus(opt.Cores, cfg.MemLatency)
+	s := &System{
+		Cfg:     cfg,
+		Image:   img,
+		Bus:     bus,
+		Program: program,
+		Commits: make([][]prog.Committed, opt.Cores),
+	}
+	if opt.TrackConsistency {
+		opt.RecordCommits = true
+		s.Shadow = consistency.NewShadow(true)
+	}
+	for c := 0; c < opt.Cores; c++ {
+		hier := cache.NewHierarchy(c, cfg.Hier, bus)
+		bus.AttachPeer(c, hier)
+		core := pipeline.New(c, cfg, program, img, hier, inits[c])
+		// External invalidations reach the load queue (baseline) or the
+		// no-recent-snoop filter; castouts must be treated identically
+		// so snoop visibility is never lost (paper §3.1).
+		bus.OnInvalidation(c, core.HandleExternalInvalidation)
+		hier.OnL3Evict = core.HandleExternalInvalidation
+		hier.OnFill = core.HandleExternalFill
+		core.Shadow = s.Shadow
+		if opt.RecordCommits {
+			idx := c
+			core.CommitHook = func(r prog.Committed) {
+				s.Commits[idx] = append(s.Commits[idx], r)
+			}
+		}
+		s.Cores = append(s.Cores, core)
+	}
+	if opt.DMAInterval > 0 {
+		burst := opt.DMABurst
+		if burst <= 0 {
+			burst = 2
+		}
+		s.DMA = &coherence.DMA{
+			Bus: bus, Image: img, Blocks: workload.IOBlocks,
+			Interval: opt.DMAInterval, Burst: burst,
+		}
+		if s.Shadow != nil {
+			var dmaSeq uint64
+			s.DMA.ShadowWrite = func(addr, value uint64) {
+				dmaSeq++
+				s.Shadow.Write(addr, consistency.MakeWriter(consistency.DMAProc, dmaSeq), value)
+			}
+		}
+	}
+	return s
+}
+
+// CheckSC builds the constraint graph over the recorded committed
+// memory operations and tests it for a cycle. It requires
+// TrackConsistency. It returns the offending operation when the
+// execution is not sequentially consistent.
+func (s *System) CheckSC() (consistency.Op, bool, *consistency.Graph) {
+	procs, chains := s.buildOps()
+	g := consistency.Build(procs, chains, s.Image.Background)
+	op, cyc := g.FindCycle()
+	return op, cyc, g
+}
+
+// CheckCoherence verifies per-location sequential consistency (cache
+// coherence) — the guarantee the insulated and hybrid load-queue
+// designs provide on weakly-ordered machines (paper §2.1).
+func (s *System) CheckCoherence() (consistency.Op, bool, *consistency.Graph) {
+	procs, chains := s.buildOps()
+	g := consistency.BuildPerLocation(procs, chains, s.Image.Background)
+	op, cyc := g.FindCycle()
+	return op, cyc, g
+}
+
+func (s *System) buildOps() ([][]consistency.Op, map[uint64][]consistency.Versioned) {
+	if s.Shadow == nil {
+		panic("system: consistency checks require Options.TrackConsistency")
+	}
+	procs := make([][]consistency.Op, len(s.Cores))
+	for c, stream := range s.Commits {
+		idx := 0
+		for _, rec := range stream {
+			switch rec.Op.Class() {
+			case isa.ClassLoad:
+				procs[c] = append(procs[c], consistency.Op{
+					Proc: c, Index: idx, Kind: consistency.OpLoad,
+					Addr: rec.Addr &^ 7, Value: rec.Result,
+					ReadsFrom: consistency.Writer(rec.Writer),
+				})
+				idx++
+			case isa.ClassStore:
+				procs[c] = append(procs[c], consistency.Op{
+					Proc: c, Index: idx, Kind: consistency.OpStore,
+					Addr: rec.Addr &^ 7, Value: rec.Result,
+					Self: consistency.Writer(rec.Writer),
+				})
+				idx++
+			}
+		}
+	}
+	chains := make(map[uint64][]consistency.Versioned)
+	for addr := range allAddrs(procs) {
+		if ch := s.Shadow.Chain(addr); len(ch) > 0 {
+			chains[addr] = ch
+		}
+	}
+	return procs, chains
+}
+
+func allAddrs(procs [][]consistency.Op) map[uint64]struct{} {
+	out := make(map[uint64]struct{})
+	for _, stream := range procs {
+		for _, op := range stream {
+			out[op.Addr] = struct{}{}
+		}
+	}
+	return out
+}
+
+// ResetStats zeroes all statistics (pipeline, caches, predictors, bus)
+// after a warmup period; microarchitectural state is preserved.
+func (s *System) ResetStats() {
+	for _, c := range s.Cores {
+		c.ResetStats()
+	}
+	s.Bus.Stats = coherence.Stats{}
+	for i := range s.Commits {
+		s.Commits[i] = nil
+	}
+}
+
+// Run advances the system until every core has committed at least
+// target instructions (or MaxCycles elapses). It returns the aggregate
+// result.
+func (s *System) Run(target uint64, opt Options) Result {
+	maxCycles := opt.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = int64(target)*200 + 1_000_000
+	}
+	for {
+		done := true
+		for _, c := range s.Cores {
+			if c.Stats.Committed < target {
+				done = false
+				break
+			}
+		}
+		if done || s.CycleNum >= maxCycles {
+			break
+		}
+		if s.DMA != nil {
+			s.DMA.Tick(s.CycleNum)
+		}
+		for _, c := range s.Cores {
+			if c.Stats.Committed < target {
+				c.Step()
+			}
+		}
+		s.CycleNum++
+	}
+	return s.Result()
+}
+
+// Result summarizes a run.
+type Result struct {
+	Machine  string
+	Workload string
+	Cores    int
+	Cycles   int64
+	// IPC is the mean per-core IPC.
+	IPC float64
+	// Aggregated pipeline statistics (summed over cores).
+	Pipe pipeline.Stats
+	// Counters carries auxiliary named statistics.
+	Counters *stats.Counters
+}
+
+// Result computes the current summary without advancing the system.
+func (s *System) Result() Result {
+	r := Result{
+		Machine:  s.Cfg.Name,
+		Workload: s.Work.Name,
+		Cores:    len(s.Cores),
+		Cycles:   s.CycleNum,
+		Counters: stats.NewCounters(),
+	}
+	var ipcSum float64
+	for _, c := range s.Cores {
+		ps := &c.Stats
+		ipcSum += ps.IPC()
+		agg := &r.Pipe
+		agg.Cycles += ps.Cycles
+		agg.Committed += ps.Committed
+		agg.CommittedLoads += ps.CommittedLoads
+		agg.CommittedStores += ps.CommittedStores
+		agg.CommittedBranches += ps.CommittedBranches
+		agg.SilentStores += ps.SilentStores
+		agg.DemandLoadAccesses += ps.DemandLoadAccesses
+		agg.ForwardedLoads += ps.ForwardedLoads
+		agg.ReplayAccesses += ps.ReplayAccesses
+		agg.StoreAccesses += ps.StoreAccesses
+		agg.SquashesMispredict += ps.SquashesMispredict
+		agg.SquashesRAW += ps.SquashesRAW
+		agg.SquashesInval += ps.SquashesInval
+		agg.SquashesLoadIssue += ps.SquashesLoadIssue
+		agg.SquashesReplayRAW += ps.SquashesReplayRAW
+		agg.SquashesReplayCons += ps.SquashesReplayCons
+		agg.SquashedInstrs += ps.SquashedInstrs
+		agg.LoadsNUSFlagged += ps.LoadsNUSFlagged
+		agg.LoadsReordered += ps.LoadsReordered
+		agg.ValuePredictedLoads += ps.ValuePredictedLoads
+		agg.ValuePredictedCommitted += ps.ValuePredictedCommitted
+		agg.SquashesVPred += ps.SquashesVPred
+		agg.ROBOccupancySum += ps.ROBOccupancySum
+		agg.StallROB += ps.StallROB
+		agg.StallIQ += ps.StallIQ
+		agg.StallLQ += ps.StallLQ
+		agg.StallSQ += ps.StallSQ
+		agg.StallBarrier += ps.StallBarrier
+
+		if eng := c.Engine(); eng != nil {
+			r.Counters.Add("replay.loads_seen", eng.Stats.LoadsSeen)
+			r.Counters.Add("replay.replays", eng.Stats.Replays)
+			r.Counters.Add("replay.replays_nus", eng.Stats.ReplaysNUS)
+			r.Counters.Add("replay.filtered", eng.Stats.Filtered)
+			r.Counters.Add("replay.mismatches", eng.Stats.Mismatches)
+			r.Counters.Add("replay.window_events", eng.Stats.WindowEvents)
+		}
+		if lq := c.LoadQueue(); lq != nil {
+			r.Counters.Add("lq.searches", lq.Searches)
+			r.Counters.Add("lq.searched_entries", lq.SearchedEntries)
+			r.Counters.Add("lq.raw_squashes", lq.RAWSquashes)
+			r.Counters.Add("lq.inval_squashes", lq.InvalSquashes)
+			r.Counters.Add("lq.bloom_filtered", lq.BloomFiltered)
+		}
+		r.Counters.Add("sq.searches", c.StoreQueue().Searches)
+		r.Counters.Add("sq.l2_searches", c.StoreQueue().L2Searches)
+		r.Counters.Add("sq.l2_filtered", c.StoreQueue().L2Filtered)
+		hs := c.Hierarchy().Stats
+		r.Counters.Add("cache.remote_fills", hs.RemoteFills)
+		r.Counters.Add("cache.snoop_invalidations", hs.SnoopInvalidations)
+		if tlb := c.Hierarchy().DataTLB(); tlb != nil {
+			r.Counters.Add("tlb.accesses", tlb.Accesses)
+			r.Counters.Add("tlb.misses", tlb.Misses)
+		}
+		r.Counters.Add("bp.lookups", c.Predictor().Lookups)
+		r.Counters.Add("bp.mispredicts", c.Predictor().Mispredicts)
+		if vp := c.ValuePredictor(); vp != nil {
+			r.Counters.Add("vpred.predictions", vp.Predictions)
+			r.Counters.Add("vpred.correct", vp.Correct)
+			r.Counters.Add("vpred.incorrect", vp.Incorrect)
+		}
+	}
+	r.IPC = ipcSum / float64(len(s.Cores))
+	return r
+}
+
+// String renders a short human-readable summary.
+func (r Result) String() string {
+	return fmt.Sprintf("%s/%s cores=%d cycles=%d IPC=%.3f committed=%d",
+		r.Machine, r.Workload, r.Cores, r.Cycles, r.IPC, r.Pipe.Committed)
+}

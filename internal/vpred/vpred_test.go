@@ -1,0 +1,78 @@
+package vpred
+
+import "testing"
+
+func TestColdNoPrediction(t *testing.T) {
+	p := New(64)
+	if _, ok := p.Predict(0x100); ok {
+		t.Error("cold predictor must not predict")
+	}
+}
+
+func TestConfidenceBuildsAndPredicts(t *testing.T) {
+	p := New(64)
+	pc := uint64(0x100)
+	// Three trainings with the same value build confidence past the
+	// threshold (first allocates, next two increment).
+	for i := 0; i < 3; i++ {
+		p.Train(pc, 42, false)
+	}
+	v, ok := p.Predict(pc)
+	if !ok || v != 42 {
+		t.Fatalf("Predict = %d,%v", v, ok)
+	}
+}
+
+func TestChangingValueResetsConfidence(t *testing.T) {
+	p := New(64)
+	pc := uint64(0x104)
+	for i := 0; i < 3; i++ {
+		p.Train(pc, 7, false)
+	}
+	p.Train(pc, 8, true) // misprediction outcome
+	if _, ok := p.Predict(pc); ok {
+		t.Error("confidence must reset after a value change")
+	}
+	if p.Incorrect != 1 {
+		t.Errorf("Incorrect = %d", p.Incorrect)
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	p := New(64)
+	pc := uint64(0x108)
+	for i := 0; i < 3; i++ {
+		p.Train(pc, 5, false)
+	}
+	p.Train(pc, 5, true)
+	p.Train(pc, 5, true)
+	p.Train(pc, 6, true)
+	if acc := p.Accuracy(); acc < 0.66 || acc > 0.67 {
+		t.Errorf("Accuracy = %v, want 2/3", acc)
+	}
+	if New(64).Accuracy() != 0 {
+		t.Error("empty accuracy should be 0")
+	}
+}
+
+func TestAliasReplacement(t *testing.T) {
+	p := New(16)
+	a := uint64(0x100)
+	b := a + 16*4 // same slot
+	for i := 0; i < 3; i++ {
+		p.Train(a, 1, false)
+	}
+	p.Train(b, 2, false) // evicts a
+	if _, ok := p.Predict(a); ok {
+		t.Error("evicted PC still predicts")
+	}
+}
+
+func TestBadSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	New(48)
+}

@@ -1,0 +1,315 @@
+package workload
+
+import (
+	"testing"
+
+	"vbmo/internal/isa"
+	"vbmo/internal/prog"
+)
+
+func TestCatalogComplete(t *testing.T) {
+	cat := Catalog()
+	if len(cat) < 20 {
+		t.Fatalf("catalog has only %d workloads", len(cat))
+	}
+	names := map[string]bool{}
+	for _, p := range cat {
+		if names[p.Name] {
+			t.Errorf("duplicate workload %q", p.Name)
+		}
+		names[p.Name] = true
+		if p.Suite == "" {
+			t.Errorf("%s: missing suite", p.Name)
+		}
+		if p.WorkingSet&(p.WorkingSet-1) != 0 {
+			t.Errorf("%s: working set %d not a power of two", p.Name, p.WorkingSet)
+		}
+	}
+	for _, want := range []string{"gzip", "mcf", "vortex", "apsi", "art", "wupwise", "tpcb", "tpch", "jbb", "barnes", "ocean", "radiosity", "raytrace"} {
+		if !names[want] {
+			t.Errorf("catalog missing %q", want)
+		}
+	}
+	if len(Uniprocessor())+len(Multiprocessor()) != len(cat) {
+		t.Error("uni + multi should partition the catalog")
+	}
+	for _, p := range Multiprocessor() {
+		if !p.Multi {
+			t.Errorf("%s in Multiprocessor() but not Multi", p.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, ok := ByName("mcf")
+	if !ok || p.Name != "mcf" {
+		t.Fatal("ByName(mcf) failed")
+	}
+	if _, ok := ByName("nosuch"); ok {
+		t.Error("ByName(nosuch) should fail")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p, _ := ByName("gcc")
+	a := Generate(p, 42)
+	b := Generate(p, 42)
+	if a.Len() != b.Len() {
+		t.Fatal("nondeterministic length")
+	}
+	for i := range a.Code {
+		if a.Code[i] != b.Code[i] {
+			t.Fatalf("programs differ at %d", i)
+		}
+	}
+	c := Generate(p, 43)
+	same := 0
+	n := a.Len()
+	if c.Len() < n {
+		n = c.Len()
+	}
+	for i := 0; i < n; i++ {
+		if a.Code[i] == c.Code[i] {
+			same++
+		}
+	}
+	if same == n && a.Len() == c.Len() {
+		t.Error("different seeds produced identical programs")
+	}
+}
+
+// runMix functionally executes a workload and returns per-class dynamic
+// instruction fractions.
+func runMix(t *testing.T, name string, n int) map[isa.Class]float64 {
+	t.Helper()
+	p, ok := ByName(name)
+	if !ok {
+		t.Fatalf("no workload %s", name)
+	}
+	pr := Generate(p, 7)
+	im := prog.NewImage(7)
+	ex := prog.NewExecutor(pr, im, InitState(p, 0, 7))
+	counts := map[isa.Class]int{}
+	for i := 0; i < n; i++ {
+		c := ex.Step()
+		counts[c.Op.Class()]++
+	}
+	out := map[isa.Class]float64{}
+	for k, v := range counts {
+		out[k] = float64(v) / float64(n)
+	}
+	return out
+}
+
+func TestDynamicMixNearTargets(t *testing.T) {
+	for _, name := range []string{"gzip", "gcc", "vortex", "apsi", "tpcb"} {
+		p, _ := ByName(name)
+		mix := runMix(t, name, 60000)
+		ld := mix[isa.ClassLoad]
+		st := mix[isa.ClassStore]
+		if ld < p.LoadFrac-0.12 || ld > p.LoadFrac+0.12 {
+			t.Errorf("%s: load fraction %.3f, target %.3f", name, ld, p.LoadFrac)
+		}
+		if st < p.StoreFrac-0.08 || st > p.StoreFrac+0.08 {
+			t.Errorf("%s: store fraction %.3f, target %.3f", name, st, p.StoreFrac)
+		}
+		br := mix[isa.ClassBranch]
+		if br < 0.02 || br > p.BranchFrac+0.12 {
+			t.Errorf("%s: branch fraction %.3f out of range", name, br)
+		}
+	}
+}
+
+func TestFPWorkloadUsesFPUnits(t *testing.T) {
+	mix := runMix(t, "apsi", 40000)
+	fp := mix[isa.ClassFPALU] + mix[isa.ClassFPMul] + mix[isa.ClassFPDiv]
+	if fp < 0.10 {
+		t.Errorf("apsi FP fraction %.3f too low", fp)
+	}
+	intMix := runMix(t, "gzip", 40000)
+	fpInt := intMix[isa.ClassFPALU] + intMix[isa.ClassFPMul] + intMix[isa.ClassFPDiv]
+	if fpInt > 0.05 {
+		t.Errorf("gzip FP fraction %.3f too high", fpInt)
+	}
+}
+
+func TestAllWorkloadsExecute(t *testing.T) {
+	for _, p := range Catalog() {
+		pr := Generate(p, 11)
+		if pr.Len() < 200 {
+			t.Errorf("%s: program too short (%d)", p.Name, pr.Len())
+		}
+		im := prog.NewImage(11)
+		ex := prog.NewExecutor(pr, im, InitState(p, 0, 11))
+		pcs := map[uint64]bool{}
+		for i := 0; i < 20000; i++ {
+			c := ex.Step()
+			pcs[c.PC] = true
+			if c.Op.Class() == isa.ClassLoad || c.Op.Class() == isa.ClassStore {
+				// Every load/store must land in a known segment.
+				inPriv := c.Addr >= PrivateBase0 && c.Addr < PrivateBase0+PrivateStride
+				inShared := c.Addr >= SharedBase && c.Addr < SharedBase+SharedSize+(64<<10) // streaming may drift past the mask
+				inIO := c.Addr >= IOBase && c.Addr < IOBase+IOBlocks*64+(64<<10)            // streaming drift
+				if !inPriv && !inShared && !inIO {
+					t.Fatalf("%s: memory access outside segments: %#x", p.Name, c.Addr)
+				}
+			}
+		}
+		// The program must actually loop (reach a reasonable fraction
+		// of its static instructions).
+		if len(pcs) < pr.Len()/4 {
+			t.Errorf("%s: only %d of %d static instructions executed", p.Name, len(pcs), pr.Len())
+		}
+	}
+}
+
+func TestSharedAccessesOnlyInMultiWorkloads(t *testing.T) {
+	check := func(name string, wantShared bool) {
+		p, _ := ByName(name)
+		pr := Generate(p, 5)
+		ex := prog.NewExecutor(pr, prog.NewImage(5), InitState(p, 1, 5))
+		shared := 0
+		for i := 0; i < 30000; i++ {
+			c := ex.Step()
+			if (c.Op.Class() == isa.ClassLoad || c.Op.Class() == isa.ClassStore) &&
+				c.Addr >= SharedBase && c.Addr < IOBase {
+				shared++
+			}
+		}
+		if wantShared && shared == 0 {
+			t.Errorf("%s: no shared accesses in MP workload", name)
+		}
+		if !wantShared && shared != 0 {
+			t.Errorf("%s: %d shared accesses in uniprocessor workload", name, shared)
+		}
+	}
+	check("ocean", true)
+	check("gzip", false)
+}
+
+func TestInitStatePerCore(t *testing.T) {
+	p, _ := ByName("barnes")
+	s0 := InitState(p, 0, 9)
+	s1 := InitState(p, 1, 9)
+	if s0.ReadReg(1) == s1.ReadReg(1) {
+		t.Error("cores share a private base")
+	}
+	if s0.ReadReg(3) == s1.ReadReg(3) {
+		t.Error("cores share an LCG seed")
+	}
+	if s0.ReadReg(16) == s1.ReadReg(16) {
+		t.Error("cores share a false-sharing word offset")
+	}
+	if s0.ReadReg(5) != s1.ReadReg(5) {
+		t.Error("cores must share the shared-segment base")
+	}
+}
+
+func TestSilentStoreRatesDiffer(t *testing.T) {
+	// vortex is configured with much higher store value locality than
+	// art; measure actual silent-store rates functionally.
+	rate := func(name string) float64 {
+		p, _ := ByName(name)
+		pr := Generate(p, 3)
+		im := prog.NewImage(3)
+		ex := prog.NewExecutor(pr, im, InitState(p, 0, 3))
+		silent, stores := 0, 0
+		for i := 0; i < 60000; i++ {
+			pc := ex.State.PC
+			in, _ := pr.Fetch(pc)
+			if in.Class() == isa.ClassStore {
+				addr := in.EffAddr(ex.State.ReadReg(in.Src1))
+				old := im.Read(addr)
+				c := ex.Step()
+				stores++
+				if c.Result == old {
+					silent++
+				}
+				continue
+			}
+			ex.Step()
+		}
+		if stores == 0 {
+			return 0
+		}
+		return float64(silent) / float64(stores)
+	}
+	v, a := rate("vortex"), rate("art")
+	if v <= a {
+		t.Errorf("vortex silent rate %.3f should exceed art %.3f", v, a)
+	}
+	if v < 0.3 {
+		t.Errorf("vortex silent rate %.3f too low", v)
+	}
+}
+
+func TestLateStoreAddressesPresent(t *testing.T) {
+	// Workloads with StoreAddrLate > 0 must contain the div/xor/add
+	// late-address idiom.
+	p, _ := ByName("vortex")
+	pr := Generate(p, 13)
+	divs := 0
+	for _, in := range pr.Code {
+		if in.Op == isa.OpDiv && in.Dst == 14 {
+			divs++
+		}
+	}
+	if divs == 0 {
+		t.Error("vortex program contains no late-address store chains")
+	}
+}
+
+func TestCodeSizeControlsProgramLength(t *testing.T) {
+	p, _ := ByName("gzip")
+	small := Generate(p, 3)
+	p.CodeSize = 6000
+	big := Generate(p, 3)
+	if big.Len() < 2*small.Len() {
+		t.Errorf("CodeSize ignored: %d vs %d", big.Len(), small.Len())
+	}
+	// Commercial workloads exceed the 32k L1I by construction.
+	tp, _ := ByName("tpcb")
+	if Generate(tp, 3).Len()*4 < 40<<10 {
+		t.Errorf("tpcb code footprint too small: %d instructions", Generate(tp, 3).Len())
+	}
+}
+
+func TestIORegionAccessesGenerated(t *testing.T) {
+	// With IOFrac > 0 the program occasionally reads the DMA ring.
+	p, _ := ByName("tpch")
+	p.IOFrac = 0.05 // crank for test determinism
+	pr := Generate(p, 9)
+	ex := prog.NewExecutor(pr, prog.NewImage(9), InitState(p, 0, 9))
+	io := 0
+	for i := 0; i < 60000; i++ {
+		c := ex.Step()
+		cls := c.Op.Class()
+		if (cls == isa.ClassLoad || cls == isa.ClassStore) && c.Addr >= IOBase {
+			io++
+		}
+	}
+	if io == 0 {
+		t.Error("no I/O-region accesses generated")
+	}
+}
+
+func TestMembarsOnlyWithBarrierKnob(t *testing.T) {
+	count := func(p Params) int {
+		pr := Generate(p, 5)
+		n := 0
+		for _, in := range pr.Code {
+			if in.Op == isa.OpMembar {
+				n++
+			}
+		}
+		return n
+	}
+	pNo, _ := ByName("barnes") // Barriers: 0
+	if c := count(pNo); c != 0 {
+		t.Errorf("barnes has %d membars with Barriers=0", c)
+	}
+	pYes, _ := ByName("specweb")
+	if count(pYes) == 0 {
+		t.Error("specweb should contain membars")
+	}
+}
