@@ -9,6 +9,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -17,16 +19,46 @@ import (
 
 func main() {
 	var (
-		which    = flag.String("experiment", "all", "all | tables | fig5 | fig6 | fig7 | fig8 | squash | power | relatedwork")
-		quick    = flag.Bool("quick", false, "reduced instruction budgets and core counts")
-		cores    = flag.Int("cores", 0, "override MP core count")
-		uniInstr = flag.Uint64("uni", 0, "override uniprocessor instructions")
-		mpInstr  = flag.Uint64("mp", 0, "override per-core MP instructions")
-		samples  = flag.Int("samples", 0, "override MP sample count")
-		works    = flag.String("workloads", "", "comma-separated workload subset")
-		parallel = flag.Bool("parallel", true, "run data points in parallel")
+		which      = flag.String("experiment", "all", "all | tables | fig5 | fig6 | fig7 | fig8 | squash | power | relatedwork | snapshots")
+		quick      = flag.Bool("quick", false, "reduced instruction budgets and core counts")
+		cores      = flag.Int("cores", 0, "override MP core count")
+		uniInstr   = flag.Uint64("uni", 0, "override uniprocessor instructions")
+		mpInstr    = flag.Uint64("mp", 0, "override per-core MP instructions")
+		samples    = flag.Int("samples", 0, "override MP sample count")
+		works      = flag.String("workloads", "", "comma-separated workload subset")
+		parallel   = flag.Bool("parallel", true, "run data points in parallel")
+		snapDir    = flag.String("snapshot-dir", "", "directory for snapshots experiment JSONL output (empty = print only)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	cfg := experiments.DefaultConfig()
 	if *quick {
@@ -86,6 +118,11 @@ func main() {
 		experiments.Power(w, m)
 	case "relatedwork":
 		experiments.RelatedWork(w, cfg)
+	case "snapshots":
+		if err := experiments.Snapshots(w, cfg, *snapDir); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *which)
 		os.Exit(1)

@@ -6,11 +6,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"vbmo/internal/config"
 	"vbmo/internal/core"
 	"vbmo/internal/system"
+	"vbmo/internal/trace"
 	"vbmo/internal/workload"
 )
 
@@ -24,8 +27,43 @@ func main() {
 		list     = flag.Bool("list", false, "list workloads and exit")
 		verifySC = flag.Bool("sc", false, "verify sequential consistency with the constraint-graph checker")
 		verbose  = flag.Bool("v", false, "print detailed counters")
+
+		traceOut    = flag.String("trace", "", "write the event trace to this file (- for stdout)")
+		traceFormat = flag.String("trace-format", "jsonl", "trace format: jsonl | chrome | ring")
+		traceRing   = flag.Int("trace-ring", 512, "ring format: events retained")
+		traceFreeze = flag.String("trace-freeze", "", "ring format: freeze trigger: squash | replay-squash (empty = keep rolling)")
+		snapEvery   = flag.Int64("snapshot-interval", 0, "sample metrics snapshots every N cycles (0 = off)")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 	if *list {
 		for _, w := range workload.Catalog() {
 			kind := "uni"
@@ -71,8 +109,67 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown machine %q\n", *machine)
 		os.Exit(1)
 	}
+	// Trace plumbing: the chosen format's sink is teed with a counting
+	// sink so the end-of-run summary can report per-kind event totals.
+	var (
+		counts   = &trace.CountSink{}
+		ring     *trace.RingSink
+		fileSink trace.Sink
+		traceDst *os.File
+		tracer   *trace.Tracer
+		closeDst bool
+	)
+	if *traceOut != "" {
+		traceDst = os.Stdout
+		if *traceOut != "-" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			traceDst = f
+			closeDst = true
+		}
+		switch *traceFormat {
+		case "jsonl":
+			fileSink = trace.NewJSONLSink(traceDst)
+		case "chrome":
+			fileSink = trace.NewChromeSink(traceDst)
+		case "ring":
+			if *traceRing <= 0 {
+				fmt.Fprintf(os.Stderr, "-trace-ring must be positive (got %d)\n", *traceRing)
+				os.Exit(1)
+			}
+			ring = trace.NewRingSink(*traceRing)
+			switch *traceFreeze {
+			case "":
+				// Keep rolling: the ring ends up holding the last events
+				// of the run.
+			case "squash":
+				ring.FreezeWhen = func(ev trace.Event) bool {
+					return ev.Kind == trace.KSquash
+				}
+			case "replay-squash":
+				ring.FreezeWhen = func(ev trace.Event) bool {
+					return ev.Kind == trace.KSquash &&
+						(ev.Reason == trace.RSquashReplayRAW ||
+							ev.Reason == trace.RSquashReplayCons ||
+							ev.Reason == trace.RSquashVPred)
+				}
+			default:
+				fmt.Fprintf(os.Stderr, "unknown -trace-freeze %q\n", *traceFreeze)
+				os.Exit(1)
+			}
+			fileSink = ring
+		default:
+			fmt.Fprintf(os.Stderr, "unknown -trace-format %q\n", *traceFormat)
+			os.Exit(1)
+		}
+		tracer = trace.New(&trace.TeeSink{Sinks: []trace.Sink{fileSink, counts}})
+	}
+
 	opt := system.Options{Cores: *cores, Seed: *seed, DMAInterval: 4000, DMABurst: 2,
-		TrackConsistency: *verifySC}
+		TrackConsistency: *verifySC, Trace: tracer, SnapshotInterval: *snapEvery}
 	s := system.New(cfg, work, opt)
 	start := time.Now()
 	res := s.Run(*insts, opt)
@@ -91,13 +188,55 @@ func main() {
 	fmt.Printf("replays/instr=%.4f  sim-speed=%.0f inst/s\n",
 		float64(p.ReplayAccesses)/float64(p.Committed),
 		float64(p.Committed)/elapsed.Seconds())
+	if s.Metrics != nil {
+		fmt.Printf("snapshots: %d recorded  occupancy means: ROB=%.1f LQ=%.1f SQ=%.1f (core 0)\n",
+			len(s.Metrics.Snapshots),
+			s.Metrics.ROB[0].Mean(), s.Metrics.LQ[0].Mean(), s.Metrics.SQ[0].Mean())
+	}
+	scViolation := false
 	if *verifySC {
+		// The SC check runs before trace finalization so the checker's
+		// graph-edge events land in the trace file.
 		op, cyc, g := s.CheckSC()
 		if cyc {
 			fmt.Printf("SC VIOLATION: %s at proc %d op %d addr %#x\n", g, op.Proc, op.Index, op.Addr)
-			os.Exit(2)
+			scViolation = true
+		} else {
+			fmt.Printf("sequentially consistent ✓ (%s)\n", g)
 		}
-		fmt.Printf("sequentially consistent ✓ (%s)\n", g)
+	}
+	if tracer != nil {
+		if ring != nil {
+			// Ring post-mortem: dump the frozen (or final) window as text.
+			state := "last"
+			if ring.Frozen() {
+				state = "frozen at trigger;"
+			}
+			fmt.Fprintf(traceDst, "# ring post-mortem: %s %d events\n", state, ring.Len())
+			if err := ring.Dump(traceDst); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if err := tracer.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if closeDst {
+			if err := traceDst.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("trace: %d events (load-issue=%d filter=%d replay=%d mismatch=%d squash=%d snoop=%d fill=%d graph-edge=%d)\n",
+			counts.Total(),
+			counts.Count(trace.KLoadIssue), counts.Count(trace.KFilterDecision),
+			counts.Count(trace.KReplay), counts.Count(trace.KValueMismatch),
+			counts.Count(trace.KSquash), counts.Count(trace.KSnoopInval),
+			counts.Count(trace.KExtFill), counts.Count(trace.KGraphEdge))
+	}
+	if scViolation {
+		os.Exit(2)
 	}
 	if *verbose {
 		fmt.Print(res.Counters)

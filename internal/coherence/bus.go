@@ -13,6 +13,8 @@
 // snooping load queues and of the no-recent-snoop filter).
 package coherence
 
+import "vbmo/internal/trace"
+
 // Interconnect latency adders (paper §4).
 const (
 	// AddrLatency is the extra latency of an address message.
@@ -66,6 +68,14 @@ type Bus struct {
 	// RemoteLat is the cache-to-cache transfer latency.
 	remoteLat int
 	Stats     Stats
+	// Trace, when non-nil, receives bus-agent events (currently coherent
+	// DMA writes, as KDMAWrite with Core -1); per-core snoop arrivals
+	// are emitted by the receiving core, which knows its cycle. Now
+	// supplies the current cycle (the bus has no clock of its own).
+	Trace *trace.Tracer
+	// Now returns the current system cycle for traced bus events; nil
+	// stamps them with cycle 0.
+	Now func() int64
 }
 
 // NewBus creates a bus for n cores with the given memory latency.
@@ -213,6 +223,13 @@ func (b *Bus) StillExclusive(core int, block uint64) bool {
 // processor fill is an external-source fill.
 func (b *Bus) DMAWrite(block uint64) {
 	b.Stats.DMAWrites++
+	if b.Trace != nil {
+		var cyc int64
+		if b.Now != nil {
+			cyc = b.Now()
+		}
+		b.Trace.Emit(trace.Event{Cycle: cyc, Core: -1, Kind: trace.KDMAWrite, Addr: block})
+	}
 	e, ok := b.dir[block]
 	if ok {
 		for c := range b.peers {

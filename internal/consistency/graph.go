@@ -14,10 +14,14 @@ const (
 
 // Op is one committed memory operation.
 type Op struct {
-	Proc  int
-	Index int // program (commit) order within Proc
-	Kind  OpKind
-	Addr  uint64
+	// Proc is the committing processor.
+	Proc int
+	// Index is the operation's program (commit) order within Proc.
+	Index int
+	// Kind distinguishes loads from stores.
+	Kind OpKind
+	// Addr is the word-aligned address accessed.
+	Addr uint64
 	// Value is the value read (loads) or written (stores).
 	Value uint64
 	// Self identifies this op when it is a store.
@@ -47,11 +51,34 @@ type Graph struct {
 	EdgeCount int
 }
 
+// EdgeKind labels a constraint-graph edge with the dependence order it
+// encodes (used by the edge-insertion trace).
+type EdgeKind int
+
+const (
+	// EdgePO is a program-order edge.
+	EdgePO EdgeKind = iota
+	// EdgeRAW is a reads-from edge (value transition → load).
+	EdgeRAW
+	// EdgeWAW is a store version-order edge.
+	EdgeWAW
+	// EdgeWAR is a load → next value transition edge.
+	EdgeWAR
+)
+
 // Build constructs the constraint graph from per-processor committed
 // operation streams, the per-word store version chains (coherence
 // order, with values), and the background content function for
 // never-written words.
 func Build(procs [][]Op, chains map[uint64][]Versioned, background func(addr uint64) uint64) *Graph {
+	return BuildWith(procs, chains, background, nil)
+}
+
+// BuildWith is Build with an edge-insertion observer: onEdge (when
+// non-nil) is invoked once per edge with its endpoints (node indices
+// into the flattened operation list, resolvable via At) and dependence
+// order — the evidence stream that makes a cycle verdict auditable.
+func BuildWith(procs [][]Op, chains map[uint64][]Versioned, background func(addr uint64) uint64, onEdge func(from, to int32, kind EdgeKind)) *Graph {
 	g := &Graph{nodes: make(map[Writer]int32)}
 	for _, stream := range procs {
 		g.ops = append(g.ops, stream...)
@@ -62,18 +89,21 @@ func Build(procs [][]Op, chains map[uint64][]Versioned, background func(addr uin
 			g.nodes[op.Self] = int32(i)
 		}
 	}
-	add := func(from, to int32) {
+	add := func(from, to int32, kind EdgeKind) {
 		if from == to {
 			return
 		}
 		g.adj[from] = append(g.adj[from], to)
 		g.EdgeCount++
+		if onEdge != nil {
+			onEdge(from, to, kind)
+		}
 	}
 	// Program order edges.
 	base := 0
 	for _, stream := range procs {
 		for i := 1; i < len(stream); i++ {
-			add(int32(base+i-1), int32(base+i))
+			add(int32(base+i-1), int32(base+i), EdgePO)
 		}
 		base += len(stream)
 	}
@@ -113,7 +143,7 @@ func Build(procs [][]Op, chains map[uint64][]Versioned, background func(addr uin
 				continue
 			}
 			if prevValid {
-				add(prev, node)
+				add(prev, node, EdgeWAW)
 			}
 			prev, prevValid = node, true
 		}
@@ -138,7 +168,7 @@ func Build(procs [][]Op, chains map[uint64][]Versioned, background func(addr uin
 				if runStart <= k {
 					if !(runStart == 0 && bg == x) {
 						if n, ok := g.nodes[chain[runStart].W]; ok {
-							add(n, ld) // RAW (value transition → load)
+							add(n, ld, EdgeRAW) // value transition → load
 						}
 					}
 				}
@@ -149,7 +179,7 @@ func Build(procs [][]Op, chains map[uint64][]Versioned, background func(addr uin
 				}
 				if j < len(chain) {
 					if n, ok := g.nodes[chain[j].W]; ok {
-						add(ld, n) // WAR (load → next value transition)
+						add(ld, n, EdgeWAR) // load → next value transition
 					}
 				}
 			}
@@ -255,6 +285,10 @@ func (g *Graph) FindCyclePath() []Op {
 
 // Nodes returns the number of operations in the graph.
 func (g *Graph) Nodes() int { return len(g.ops) }
+
+// At returns the operation at the given node index (the index space
+// BuildWith's edge observer reports).
+func (g *Graph) At(i int32) Op { return g.ops[i] }
 
 // String summarizes the graph.
 func (g *Graph) String() string {

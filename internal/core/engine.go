@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"vbmo/internal/trace"
+)
 
 // Filter selects the replay-reduction configuration evaluated in the
 // paper's Figure 5/6.
@@ -128,35 +132,54 @@ func (e *Engine) WindowOpen() bool { return e.flag }
 // filter. It must be called exactly once per load reaching the replay
 // stage (it maintains the statistics used by Figure 6).
 func (e *Engine) ShouldReplay(en *FIFOEntry) bool {
+	replay, _ := e.Decide(en)
+	return replay
+}
+
+// Decide is ShouldReplay with the decision's provenance: which filter
+// demanded the replay, or why it was skipped, as a trace reason. The
+// same exactly-once contract applies (Decide and ShouldReplay maintain
+// the same statistics; call one of them, once, per load).
+func (e *Engine) Decide(en *FIFOEntry) (bool, trace.Reason) {
 	e.Stats.LoadsSeen++
 	if en.NoReplay {
 		// Rule 3: a load that already caused a replay squash must not
 		// replay again, ensuring forward progress under contention.
 		e.Stats.Rule3Skips++
-		return false
+		return false, trace.RRule3
 	}
 	if en.ValuePredicted {
 		// Value-predicted loads are verified by the compare stage;
 		// no filter may skip them.
-		return true
+		return true, trace.RVPredVerify
 	}
-	var replay bool
+	replay, why := false, trace.RFiltered
 	switch e.Filter {
 	case ReplayAll:
-		replay = true
+		replay, why = true, trace.RReplayAll
 	case NoReorder:
-		replay = en.Reordered
+		if en.Reordered {
+			replay, why = true, trace.RReordered
+		}
 	case NoRecentMiss, NoRecentSnoop:
 		// Composition rule (§3.3): replay if either the RAW filter or
-		// the consistency filter demands it.
-		replay = en.NUS || e.flag
+		// the consistency filter demands it. The RAW condition is
+		// reported first so Figure 6's RAW-needed attribution matches.
+		switch {
+		case en.NUS:
+			replay, why = true, trace.RNUS
+		case e.flag:
+			replay, why = true, trace.RWindow
+		}
 	case NUSOnly:
-		replay = en.NUS
+		if en.NUS {
+			replay, why = true, trace.RNUS
+		}
 	}
 	if !replay {
 		e.Stats.Filtered++
 	}
-	return replay
+	return replay, why
 }
 
 // OnReplayComplete records the outcome of a replay: the re-executed

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"vbmo/internal/system"
+	"vbmo/internal/workload"
+)
+
+// snapshotRuns is the representative (machine, workload) set the
+// snapshots experiment samples: one uniprocessor and one multiprocessor
+// workload on the baseline and on a replay configuration, enough to see
+// how occupancy and replay traffic evolve over a run on both machine
+// styles without rerunning the whole §5.1 matrix.
+var snapshotRuns = []struct {
+	machine, work string
+}{
+	{"baseline", "gzip"},
+	{"replay-all", "gzip"},
+	{"no-recent-snoop", "ocean"},
+}
+
+// Snapshots runs the metrics-snapshot experiment: each representative
+// configuration executes with interval sampling enabled, then the
+// interval table and the ROB/LQ/SQ occupancy histograms are printed.
+// The histogram means are the time-averages behind Figure 7: the ROB
+// histogram's mean for a replay machine, compared against the
+// baseline's, is exactly the occupancy gap the paper's Figure 7 bars
+// show. When dir is non-empty, each run's snapshots are also written to
+// dir/snapshots-<machine>-<workload>.jsonl for offline analysis
+// (EXPERIMENTS.md "Metrics snapshots").
+func Snapshots(w io.Writer, cfg Config, dir string) error {
+	for _, sr := range snapshotRuns {
+		work, ok := workload.ByName(sr.work)
+		if !ok {
+			panic("experiments: unknown snapshot workload " + sr.work)
+		}
+		cores, instr := 1, cfg.UniInstr
+		if work.Multi {
+			cores, instr = cfg.MPCores, cfg.MPInstr
+		}
+		interval := int64(instr / 20)
+		if interval < 100 {
+			interval = 100
+		}
+		opt := system.Options{
+			Cores: cores, Seed: cfg.Seed,
+			DMAInterval: 4000, DMABurst: 2,
+			SnapshotInterval: interval,
+		}
+		s := system.New(machineFor(sr.machine), work, opt)
+		res := s.Run(instr, opt)
+
+		fmt.Fprintf(w, "\n== %s / %s (cores=%d, interval=%d cycles) ==\n",
+			sr.machine, sr.work, cores, interval)
+		fmt.Fprintf(w, "%s\n", res)
+
+		// Interval table: core 0's deltas over time.
+		names := s.Metrics.CounterNames()
+		fmt.Fprintf(w, "\n%-10s", "cycle")
+		for _, n := range names {
+			fmt.Fprintf(w, " %10s", n)
+		}
+		fmt.Fprintln(w)
+		for _, snap := range s.Metrics.Snapshots {
+			if snap.Core != 0 {
+				continue
+			}
+			fmt.Fprintf(w, "%-10d", snap.Cycle)
+			for _, n := range names {
+				fmt.Fprintf(w, " %10d", snap.Deltas[n])
+			}
+			fmt.Fprintln(w)
+		}
+
+		fmt.Fprintf(w, "\nROB occupancy (core 0)  [Figure 7's bar for this machine is this mean]\n%s",
+			s.Metrics.ROB[0])
+		fmt.Fprintf(w, "LQ occupancy (core 0)\n%s", s.Metrics.LQ[0])
+		fmt.Fprintf(w, "SQ occupancy (core 0)\n%s", s.Metrics.SQ[0])
+
+		if dir != "" {
+			path := filepath.Join(dir, fmt.Sprintf("snapshots-%s-%s.jsonl", sr.machine, sr.work))
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := s.Metrics.WriteJSONL(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "wrote %s (%d snapshots)\n", path, len(s.Metrics.Snapshots))
+		}
+	}
+	return nil
+}

@@ -1,6 +1,9 @@
 package lsq
 
-import "vbmo/internal/cache"
+import (
+	"vbmo/internal/cache"
+	"vbmo/internal/trace"
+)
 
 // Mode selects the associative load queue's consistency-enforcement
 // style (paper §2.1).
@@ -33,9 +36,14 @@ func (m Mode) String() string {
 
 // LoadEntry is one in-flight load in the associative queue.
 type LoadEntry struct {
-	Tag    int64
-	PC     uint64
-	Addr   uint64
+	// Tag is the load's ROB sequence number (program order).
+	Tag int64
+	// PC is the load's program counter (for predictor training).
+	PC uint64
+	// Addr is the word-aligned effective address, valid once Issued.
+	Addr uint64
+	// Issued marks loads that have executed prematurely (only issued
+	// loads participate in violation searches).
 	Issued bool
 	// ForwardTag is the store the load's value was forwarded from
 	// (-1 when the value came from the cache).
@@ -48,8 +56,10 @@ type LoadEntry struct {
 // pipeline must squash from Tag (inclusive) and may train a dependence
 // predictor with PC.
 type Squash struct {
+	// Tag is the oldest violating load's ROB sequence number.
 	Tag int64
-	PC  uint64
+	// PC is the violating load's program counter.
+	PC uint64
 }
 
 // AssocLoadQueue is the conventional CAM-based load queue. Searches are
@@ -73,6 +83,11 @@ type AssocLoadQueue struct {
 	bloom *BloomFilter
 	// BloomFiltered counts CAM searches avoided by the filter.
 	BloomFiltered uint64
+	// Emit, when non-nil, receives trace events only the queue itself
+	// can see — currently the hybrid design's snoop marks (KLQMark),
+	// which defer a possible squash rather than causing one. The
+	// pipeline wires it in SetTracer, filling in core and cycle.
+	Emit func(kind trace.Kind, tag int64, pc, addr uint64)
 }
 
 // NewAssocLoadQueue creates a queue of the given capacity and mode.
@@ -215,6 +230,9 @@ func (q *AssocLoadQueue) OnInvalidation(block uint64) (Squash, bool) {
 		}
 		if q.mode == Hybrid {
 			le.Marked = true
+			if q.Emit != nil {
+				q.Emit(trace.KLQMark, le.Tag, le.PC, block)
+			}
 			continue
 		}
 		q.InvalSquashes++

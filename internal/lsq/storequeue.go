@@ -12,11 +12,20 @@ package lsq
 
 // StoreEntry is one in-flight store.
 type StoreEntry struct {
-	Tag       int64
-	PC        uint64
-	Addr      uint64
+	// Tag is the store's ROB sequence number (program order).
+	Tag int64
+	// PC is the store's program counter (for predictor training).
+	PC uint64
+	// Addr is the effective address, meaningful once AddrValid is set
+	// by the store's address generation.
+	Addr uint64
+	// AddrValid marks stores whose address has resolved; unresolved
+	// stores are what the no-unresolved-store filter watches for.
 	AddrValid bool
-	Data      uint64
+	// Data is the store's value, meaningful once DataValid is set by
+	// data capture (forwarding requires it).
+	Data uint64
+	// DataValid marks stores whose data operand has been captured.
 	DataValid bool
 }
 

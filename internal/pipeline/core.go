@@ -10,6 +10,7 @@ import (
 	"vbmo/internal/isa"
 	"vbmo/internal/lsq"
 	"vbmo/internal/prog"
+	"vbmo/internal/trace"
 	"vbmo/internal/vpred"
 )
 
@@ -79,6 +80,11 @@ type Core struct {
 	storeWriters   map[int64]consistency.Writer
 	storeWriterLog []int64
 	writerSeq      uint64 // store writer sequence (survives ResetStats)
+
+	// trace, when non-nil, receives the replay-lifecycle event stream
+	// (DESIGN.md §6). Every emission site is guarded by one nil check so
+	// the disabled path costs nothing; set it with SetTracer.
+	trace *trace.Tracer
 
 	Stats Stats
 }
@@ -157,6 +163,42 @@ func (c *Core) SimplePredictor() *deppred.Simple { return c.simple }
 // Cycle returns the current cycle.
 func (c *Core) Cycle() int64 { return c.cycle }
 
+// SetTracer attaches (or, with nil, detaches) the observability event
+// stream. It also hooks the events only the queue structures can see
+// (the hybrid load queue's snoop marks).
+func (c *Core) SetTracer(t *trace.Tracer) {
+	c.trace = t
+	if c.alq == nil {
+		return
+	}
+	if t == nil {
+		c.alq.Emit = nil
+		return
+	}
+	c.alq.Emit = func(kind trace.Kind, tag int64, pc, addr uint64) {
+		t.Emit(trace.Event{Cycle: c.cycle, Core: int32(c.ID), Kind: kind,
+			Tag: tag, PC: pc, Addr: addr})
+	}
+}
+
+// ROBLen returns the reorder buffer's current occupancy.
+func (c *Core) ROBLen() int { return len(c.rob) }
+
+// IQLen returns the issue queue's current occupancy.
+func (c *Core) IQLen() int { return len(c.iq) }
+
+// LQLen returns the load queue's current occupancy (FIFO queue on
+// replay machines, associative queue on baselines).
+func (c *Core) LQLen() int {
+	if c.eng != nil {
+		return c.eng.Queue.Len()
+	}
+	return c.alq.Len()
+}
+
+// SQLen returns the store queue's current occupancy.
+func (c *Core) SQLen() int { return c.sq.Len() }
+
 // Step advances the core by one cycle.
 func (c *Core) Step() {
 	c.portsUsed = 0
@@ -220,6 +262,11 @@ func (c *Core) complete(e *entry) bool {
 			if sqz, found := c.alq.OnStoreAgen(e.addr, e.tag); found {
 				c.trainViolation(sqz.PC, e.pc)
 				c.Stats.SquashesRAW++
+				if c.trace != nil {
+					c.trace.Emit(trace.Event{Cycle: c.cycle, Core: int32(c.ID),
+						Kind: trace.KSquash, Reason: trace.RSquashRAW,
+						Tag: sqz.Tag, PC: sqz.PC, Addr: e.addr})
+				}
 				c.squashFrom(sqz.Tag, sqz.PC, false)
 				return true
 			}
@@ -242,6 +289,11 @@ func (c *Core) resolveBranch(e *entry) bool {
 	if e.taken != e.predTaken {
 		c.Stats.SquashesMispredict++
 		next := c.prog.NextPC(e.inst, e.pc, e.taken)
+		if c.trace != nil {
+			c.trace.Emit(trace.Event{Cycle: c.cycle, Core: int32(c.ID),
+				Kind: trace.KSquash, Reason: trace.RSquashMispredict,
+				Tag: e.tag + 1, PC: e.pc})
+		}
 		c.squashFrom(e.tag+1, next, true)
 		return true
 	}
@@ -427,7 +479,16 @@ func (c *Core) replayStage() {
 		}
 		if !e.replayDecided {
 			e.replayDecided = true
-			e.needReplay = !c.faultNoReplay && c.eng.ShouldReplay(fe)
+			e.needReplay = false
+			if !c.faultNoReplay {
+				var why trace.Reason
+				e.needReplay, why = c.eng.Decide(fe)
+				if c.trace != nil {
+					c.trace.Emit(trace.Event{Cycle: c.cycle, Core: int32(c.ID),
+						Kind: trace.KFilterDecision, Reason: why,
+						Tag: e.tag, PC: e.pc, Addr: e.addr})
+				}
+			}
 			if !e.needReplay {
 				e.replayedOK = true
 				c.eng.OnLoadPassedReplayStage(e.tag)
@@ -451,6 +512,11 @@ func (c *Core) replayStage() {
 			e.replayValue = c.mem.Read(e.addr)
 			if c.Shadow != nil {
 				e.replayWriter = c.Shadow.Read(e.addr)
+			}
+			if c.trace != nil {
+				c.trace.Emit(trace.Event{Cycle: c.cycle, Core: int32(c.ID),
+					Kind: trace.KReplay, Tag: e.tag, PC: e.pc,
+					Addr: e.addr, Value: e.replayValue})
 			}
 			// The compare completes within the compare stage; for an L1
 			// hit the result is available with the access latency (the
@@ -487,16 +553,28 @@ func (c *Core) replayStage() {
 			// dependences incorrectly (or a value prediction was
 			// wrong). The load keeps the correct (replayed) value;
 			// everything younger squashes.
+			premature := e.value
 			e.result = e.replayValue
 			e.value = e.replayValue
+			why := trace.RSquashReplayCons
 			switch {
 			case fe.ValuePredicted:
 				c.Stats.SquashesVPred++
+				why = trace.RSquashVPred
 			case fe.NUS:
 				c.simple.TrainViolation(e.pc)
 				c.Stats.SquashesReplayRAW++
+				why = trace.RSquashReplayRAW
 			default:
 				c.Stats.SquashesReplayCons++
+			}
+			if c.trace != nil {
+				c.trace.Emit(trace.Event{Cycle: c.cycle, Core: int32(c.ID),
+					Kind: trace.KValueMismatch, Tag: e.tag, PC: e.pc,
+					Addr: e.addr, Value: e.replayValue, Aux: premature})
+				c.trace.Emit(trace.Event{Cycle: c.cycle, Core: int32(c.ID),
+					Kind: trace.KSquash, Reason: why,
+					Tag: e.tag, PC: e.pc, Addr: e.addr})
 			}
 			e.replayedOK = true
 			if c.cfg.SquashIncludesLoad {
@@ -706,6 +784,24 @@ func (c *Core) issueLoad(e *entry, b *fuBudget) (bool, bool) {
 	e.result = e.value
 	e.doneCycle = c.cycle + int64(lat)
 	c.pend = append(c.pend, e)
+	if c.trace != nil {
+		var flags uint64
+		if r.Match {
+			flags |= trace.FlagForwarded
+		}
+		if e.nus {
+			flags |= trace.FlagNUS
+		}
+		if e.reordered {
+			flags |= trace.FlagReordered
+		}
+		if e.valuePredicted {
+			flags |= trace.FlagVPred
+		}
+		c.trace.Emit(trace.Event{Cycle: c.cycle, Core: int32(c.ID),
+			Kind: trace.KLoadIssue, Tag: e.tag, PC: e.pc,
+			Addr: e.addr, Value: e.value, Aux: flags})
+	}
 
 	if c.eng != nil {
 		if fe := c.eng.Queue.Find(e.tag); fe != nil {
@@ -724,6 +820,11 @@ func (c *Core) issueLoad(e *entry, b *fuBudget) (bool, bool) {
 		// Insulated/hybrid load-issue search found a younger issued
 		// load to the same address (Figure 1(c)).
 		c.Stats.SquashesLoadIssue++
+		if c.trace != nil {
+			c.trace.Emit(trace.Event{Cycle: c.cycle, Core: int32(c.ID),
+				Kind: trace.KSquash, Reason: trace.RSquashLoadIssue,
+				Tag: sqz.Tag, PC: sqz.PC, Addr: e.addr})
+		}
 		c.squashFrom(sqz.Tag, sqz.PC, false)
 		return true, true
 	}
@@ -1051,9 +1152,18 @@ func filterOlder(s []*entry, fromTag int64) []*entry {
 // observed by this core: baseline snooping/hybrid load queues search and
 // possibly squash; the no-recent-snoop filter opens its replay window.
 func (c *Core) HandleExternalInvalidation(block uint64) {
+	if c.trace != nil {
+		c.trace.Emit(trace.Event{Cycle: c.cycle, Core: int32(c.ID),
+			Kind: trace.KSnoopInval, Addr: block})
+	}
 	if c.alq != nil {
 		if sqz, found := c.alq.OnInvalidation(block); found {
 			c.Stats.SquashesInval++
+			if c.trace != nil {
+				c.trace.Emit(trace.Event{Cycle: c.cycle, Core: int32(c.ID),
+					Kind: trace.KSquash, Reason: trace.RSquashInval,
+					Tag: sqz.Tag, PC: sqz.PC, Addr: block})
+			}
 			c.squashFrom(sqz.Tag, sqz.PC, false)
 		}
 		return
@@ -1066,6 +1176,10 @@ func (c *Core) HandleExternalInvalidation(block uint64) {
 // HandleExternalFill feeds the no-recent-miss filter: a block entered
 // the local hierarchy from an external source.
 func (c *Core) HandleExternalFill(block uint64) {
+	if c.trace != nil {
+		c.trace.Emit(trace.Event{Cycle: c.cycle, Core: int32(c.ID),
+			Kind: trace.KExtFill, Addr: block})
+	}
 	if c.eng != nil && c.eng.Filter.NeedsMissEvents() {
 		c.eng.NoteExternalEvent(c.youngestLoadTag())
 	}

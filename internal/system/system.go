@@ -16,6 +16,7 @@ import (
 	"vbmo/internal/pipeline"
 	"vbmo/internal/prog"
 	"vbmo/internal/stats"
+	"vbmo/internal/trace"
 	"vbmo/internal/workload"
 )
 
@@ -40,6 +41,15 @@ type Options struct {
 	// chains so CheckSC can build the constraint graph. Implies
 	// RecordCommits.
 	TrackConsistency bool
+	// Trace, when non-nil, is threaded through every core, the bus, and
+	// the checker: the machine emits the DESIGN.md §6 event stream into
+	// it. Nil (the default) keeps every hot path on its zero-cost
+	// disabled branch.
+	Trace *trace.Tracer
+	// SnapshotInterval, when positive, samples per-core metrics
+	// snapshots (counter deltas + ROB/LQ/SQ occupancy histograms) every
+	// SnapshotInterval cycles into System.Metrics.
+	SnapshotInterval int64
 }
 
 // System is a built machine: cores in lock-step over a shared image.
@@ -56,6 +66,14 @@ type System struct {
 	// Commits[c] holds core c's committed records when RecordCommits
 	// was set.
 	Commits [][]prog.Committed
+	// Trace is the event tracer the machine was built with (nil when
+	// tracing is disabled).
+	Trace *trace.Tracer
+	// Metrics accumulates interval snapshots when Options.SnapshotInterval
+	// was positive (nil otherwise).
+	Metrics *trace.MetricsLog
+	// snapInterval is the snapshot period in cycles (0 = disabled).
+	snapInterval int64
 }
 
 // New builds a system running the given workload on the given machine
@@ -87,11 +105,19 @@ func NewCustom(cfg config.Machine, program *prog.Program, inits []prog.ArchState
 	img := prog.NewImage(opt.Seed)
 	bus := coherence.NewBus(opt.Cores, cfg.MemLatency)
 	s := &System{
-		Cfg:     cfg,
-		Image:   img,
-		Bus:     bus,
-		Program: program,
-		Commits: make([][]prog.Committed, opt.Cores),
+		Cfg:          cfg,
+		Image:        img,
+		Bus:          bus,
+		Program:      program,
+		Commits:      make([][]prog.Committed, opt.Cores),
+		Trace:        opt.Trace,
+		snapInterval: opt.SnapshotInterval,
+	}
+	bus.Trace = opt.Trace
+	bus.Now = func() int64 { return s.CycleNum }
+	if opt.SnapshotInterval > 0 {
+		s.Metrics = trace.NewMetricsLog(opt.Cores, opt.SnapshotInterval,
+			cfg.ROBSize, cfg.LQSize, cfg.SQSize)
 	}
 	if opt.TrackConsistency {
 		opt.RecordCommits = true
@@ -108,6 +134,7 @@ func NewCustom(cfg config.Machine, program *prog.Program, inits []prog.ArchState
 		hier.OnL3Evict = core.HandleExternalInvalidation
 		hier.OnFill = core.HandleExternalFill
 		core.Shadow = s.Shadow
+		core.SetTracer(opt.Trace)
 		if opt.RecordCommits {
 			idx := c
 			core.CommitHook = func(r prog.Committed) {
@@ -142,7 +169,29 @@ func NewCustom(cfg config.Machine, program *prog.Program, inits []prog.ArchState
 // execution is not sequentially consistent.
 func (s *System) CheckSC() (consistency.Op, bool, *consistency.Graph) {
 	procs, chains := s.buildOps()
-	g := consistency.Build(procs, chains, s.Image.Background)
+	var onEdge func(from, to int32, kind consistency.EdgeKind)
+	var g *consistency.Graph
+	if s.Trace != nil {
+		// Edge-insertion events make the checker's verdict auditable:
+		// each edge lands in the trace as a KGraphEdge whose Tag/Aux are
+		// the endpoint node indices and whose Reason names the dependence
+		// order (DESIGN.md §6).
+		onEdge = func(from, to int32, kind consistency.EdgeKind) {
+			why := trace.REdgePO
+			switch kind {
+			case consistency.EdgeRAW:
+				why = trace.REdgeRAW
+			case consistency.EdgeWAW:
+				why = trace.REdgeWAW
+			case consistency.EdgeWAR:
+				why = trace.REdgeWAR
+			}
+			s.Trace.Emit(trace.Event{Cycle: s.CycleNum, Core: -1,
+				Kind: trace.KGraphEdge, Reason: why,
+				Tag: int64(from), Aux: uint64(to)})
+		}
+	}
+	g = consistency.BuildWith(procs, chains, s.Image.Background, onEdge)
 	op, cyc := g.FindCycle()
 	return op, cyc, g
 }
@@ -242,8 +291,52 @@ func (s *System) Run(target uint64, opt Options) Result {
 			}
 		}
 		s.CycleNum++
+		if s.snapInterval > 0 && s.CycleNum%s.snapInterval == 0 {
+			s.sample()
+		}
 	}
 	return s.Result()
+}
+
+// sample records one metrics snapshot per core (occupancies observed
+// now, counter deltas since the previous snapshot) and, when a tracer
+// is attached, mirrors the occupancies into the event stream as
+// counter-track events so timeline viewers can plot them.
+func (s *System) sample() {
+	for i, c := range s.Cores {
+		rob, lq, sq := c.ROBLen(), c.LQLen(), c.SQLen()
+		if s.Metrics != nil {
+			s.Metrics.Record(s.CycleNum, i, rob, lq, sq, coreTotals(c))
+		}
+		if s.Trace != nil {
+			s.Trace.Emit(trace.Event{Cycle: s.CycleNum, Core: int32(i),
+				Kind: trace.KROBOcc, Value: uint64(rob)})
+			s.Trace.Emit(trace.Event{Cycle: s.CycleNum, Core: int32(i),
+				Kind: trace.KLQOcc, Value: uint64(lq)})
+			s.Trace.Emit(trace.Event{Cycle: s.CycleNum, Core: int32(i),
+				Kind: trace.KSQOcc, Value: uint64(sq)})
+		}
+	}
+}
+
+// coreTotals collects the cumulative counters whose interval deltas the
+// metrics log reports (EXPERIMENTS.md "Metrics snapshots").
+func coreTotals(c *pipeline.Core) map[string]uint64 {
+	ps := &c.Stats
+	m := map[string]uint64{
+		"committed":  ps.Committed,
+		"loads":      ps.CommittedLoads,
+		"stores":     ps.CommittedStores,
+		"replays":    ps.ReplayAccesses,
+		"mismatches": 0,
+		"squashes": ps.SquashesMispredict + ps.SquashesRAW +
+			ps.SquashesInval + ps.SquashesLoadIssue +
+			ps.SquashesReplayRAW + ps.SquashesReplayCons + ps.SquashesVPred,
+	}
+	if eng := c.Engine(); eng != nil {
+		m["mismatches"] = eng.Stats.Mismatches
+	}
+	return m
 }
 
 // Result summarizes a run.

@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// ChromeSink exports the event stream in the Chrome trace_event JSON
+// format, loadable in Perfetto (ui.perfetto.dev) or about://tracing:
+// one timeline row (tid) per core, replay/load activity as duration
+// slices, squashes and snoops as instants, and the K*Occ samples as
+// counter tracks — the per-core pipeline-occupancy view of a run.
+// Cycles are mapped 1:1 to trace microseconds.
+type ChromeSink struct {
+	mu    sync.Mutex
+	bw    *bufio.Writer
+	first bool
+	named map[int32]bool
+	err   error
+}
+
+// NewChromeSink creates a sink writing the trace_event JSON to w. The
+// file is finalized by Flush; a trace without Flush is truncated and
+// will not load.
+func NewChromeSink(w io.Writer) *ChromeSink {
+	s := &ChromeSink{bw: bufio.NewWriterSize(w, 1<<16), first: true, named: make(map[int32]bool)}
+	s.write(`{"displayTimeUnit":"ns","traceEvents":[`)
+	return s
+}
+
+func (s *ChromeSink) write(str string) {
+	if s.err == nil {
+		_, s.err = s.bw.WriteString(str)
+	}
+}
+
+// sep writes the element separator (manages the leading comma).
+func (s *ChromeSink) sep() {
+	if s.first {
+		s.first = false
+		return
+	}
+	s.write(",\n")
+}
+
+// Emit implements Sink, translating each event to a trace_event record.
+func (s *ChromeSink) Emit(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.named[ev.Core] {
+		s.named[ev.Core] = true
+		s.sep()
+		s.write(fmt.Sprintf(
+			`{"name":"thread_name","ph":"M","pid":0,"tid":%d,"args":{"name":"core %d"}}`,
+			ev.Core, ev.Core))
+	}
+	switch ev.Kind {
+	case KROBOcc, KLQOcc, KSQOcc:
+		// Counter tracks: one per structure per core.
+		name := map[Kind]string{KROBOcc: "rob", KLQOcc: "lq", KSQOcc: "sq"}[ev.Kind]
+		s.sep()
+		s.write(fmt.Sprintf(
+			`{"name":"%s occupancy (core %d)","ph":"C","ts":%d,"pid":0,"tid":%d,"args":{"entries":%d}}`,
+			name, ev.Core, ev.Cycle, ev.Core, ev.Value))
+	case KLoadIssue, KReplay:
+		// Duration slices (1 cycle) so activity density is visible when
+		// zoomed out.
+		s.sep()
+		s.write(fmt.Sprintf(
+			`{"name":"%s","ph":"X","ts":%d,"dur":1,"pid":0,"tid":%d,"args":{"tag":%d,"pc":"%#x","addr":"%#x","value":"%#x"}}`,
+			ev.Kind, ev.Cycle, ev.Core, ev.Tag, ev.PC, ev.Addr, ev.Value))
+	default:
+		// Everything else renders as a thread-scoped instant.
+		s.sep()
+		s.write(fmt.Sprintf(
+			`{"name":"%s","ph":"i","s":"t","ts":%d,"pid":0,"tid":%d,"args":{"reason":"%s","tag":%d,"pc":"%#x","addr":"%#x"}}`,
+			ev.Kind, ev.Cycle, ev.Core, ev.Reason, ev.Tag, ev.PC, ev.Addr))
+	}
+}
+
+// Flush implements Sink: it closes the JSON array and drains the
+// buffer.
+func (s *ChromeSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.write("]}\n")
+	if s.err != nil {
+		return s.err
+	}
+	return s.bw.Flush()
+}

@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// JSONLSink writes one JSON object per event, newline-delimited — the
+// machine-readable export consumed by ad-hoc analysis (jq, pandas) and
+// by the trace/counter agreement tests. Output is buffered; call Flush
+// once after the run.
+type JSONLSink struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLSink creates a sink writing to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	return &JSONLSink{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Emit implements Sink. The first encoding error sticks and is reported
+// by Flush; later events are dropped.
+func (s *JSONLSink) Emit(ev Event) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = s.enc.Encode(ev)
+	}
+	s.mu.Unlock()
+}
+
+// Flush implements Sink: it drains the buffer and returns the first
+// error seen.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	return s.bw.Flush()
+}
+
+// ReadJSONL parses a JSONL event stream back into events — the inverse
+// of JSONLSink, used by tests and post-processing tools.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for dec.More() {
+		var ev Event
+		if err := dec.Decode(&ev); err != nil {
+			return out, err
+		}
+		out = append(out, ev)
+	}
+	return out, nil
+}

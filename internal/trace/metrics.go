@@ -1,0 +1,179 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Hist is a linear-bucket occupancy histogram with an exact mean —
+// the ROB/LQ/SQ occupancy distributions behind the paper's Figure 7
+// (whose bars are the time-average this histogram's Mean reproduces).
+type Hist struct {
+	// Max is the largest expected observation (the structure's
+	// capacity); larger observations clamp into the last bucket.
+	Max int
+	// Buckets holds observation counts; bucket i covers the half-open
+	// occupancy range [i*width, (i+1)*width).
+	Buckets []uint64
+
+	sum   uint64
+	count uint64
+}
+
+// NewHist creates a histogram for observations in [0, max] with the
+// given number of buckets.
+func NewHist(max, buckets int) *Hist {
+	if max <= 0 || buckets <= 0 {
+		panic("trace: histogram max and buckets must be positive")
+	}
+	if buckets > max {
+		buckets = max
+	}
+	return &Hist{Max: max, Buckets: make([]uint64, buckets)}
+}
+
+// Observe records one occupancy sample.
+func (h *Hist) Observe(v int) {
+	if v < 0 {
+		v = 0
+	}
+	i := v * len(h.Buckets) / (h.Max + 1)
+	if i >= len(h.Buckets) {
+		i = len(h.Buckets) - 1
+	}
+	h.Buckets[i]++
+	h.sum += uint64(v)
+	h.count++
+}
+
+// Count returns the number of samples observed.
+func (h *Hist) Count() uint64 { return h.count }
+
+// Mean returns the exact mean of all observations (not the bucket
+// approximation), so it is directly comparable to Figure 7's averages.
+func (h *Hist) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// String renders the histogram as aligned rows with proportional bars.
+func (h *Hist) String() string {
+	var sb strings.Builder
+	var peak uint64
+	for _, c := range h.Buckets {
+		if c > peak {
+			peak = c
+		}
+	}
+	width := (h.Max + 1 + len(h.Buckets) - 1) / len(h.Buckets)
+	for i, c := range h.Buckets {
+		lo := i * width
+		hi := lo + width - 1
+		if hi > h.Max {
+			hi = h.Max
+		}
+		bar := 0
+		if peak > 0 {
+			bar = int(c * 40 / peak)
+		}
+		fmt.Fprintf(&sb, "%4d-%-4d %10d %s\n", lo, hi, c, strings.Repeat("#", bar))
+	}
+	fmt.Fprintf(&sb, "mean %.1f over %d samples\n", h.Mean(), h.count)
+	return sb.String()
+}
+
+// Snapshot is one interval sample of a core's counter deltas: how many
+// of each event happened since the previous snapshot. A stream of
+// snapshots is the time-resolved version of the end-of-run counters —
+// where in a run the replays, squashes, and commits actually occurred.
+type Snapshot struct {
+	// Cycle is the sample instant.
+	Cycle int64 `json:"cycle"`
+	// Core is the sampled processor.
+	Core int `json:"core"`
+	// Deltas maps counter name to its increase over the interval.
+	Deltas map[string]uint64 `json:"deltas"`
+}
+
+// MetricsLog accumulates periodic Snapshots and per-core ROB/LQ/SQ
+// occupancy histograms. The system run loop drives it at a fixed cycle
+// interval; it is inert (and costs nothing) when nil.
+type MetricsLog struct {
+	// Interval is the sampling period in cycles.
+	Interval int64
+	// Snapshots holds every interval sample, in time order.
+	Snapshots []Snapshot
+	// ROB, LQ and SQ are per-core occupancy histograms sampled at each
+	// interval tick.
+	ROB, LQ, SQ []*Hist
+
+	prev []map[string]uint64
+}
+
+// NewMetricsLog creates a log for the given core count and sampling
+// interval; robMax/lqMax/sqMax size the occupancy histograms to each
+// structure's capacity.
+func NewMetricsLog(cores int, interval int64, robMax, lqMax, sqMax int) *MetricsLog {
+	if interval <= 0 {
+		panic("trace: metrics interval must be positive")
+	}
+	m := &MetricsLog{Interval: interval, prev: make([]map[string]uint64, cores)}
+	const buckets = 16
+	for i := 0; i < cores; i++ {
+		m.ROB = append(m.ROB, NewHist(robMax, buckets))
+		m.LQ = append(m.LQ, NewHist(lqMax, buckets))
+		m.SQ = append(m.SQ, NewHist(sqMax, buckets))
+		m.prev[i] = make(map[string]uint64)
+	}
+	return m
+}
+
+// Record ingests one core's state at a sample instant: current
+// occupancies plus the *cumulative* counter totals, from which the
+// interval delta is computed against the previous sample.
+func (m *MetricsLog) Record(cycle int64, core int, rob, lq, sq int, totals map[string]uint64) {
+	m.ROB[core].Observe(rob)
+	m.LQ[core].Observe(lq)
+	m.SQ[core].Observe(sq)
+	deltas := make(map[string]uint64, len(totals))
+	for k, v := range totals {
+		deltas[k] = v - m.prev[core][k]
+		m.prev[core][k] = v
+	}
+	m.Snapshots = append(m.Snapshots, Snapshot{Cycle: cycle, Core: core, Deltas: deltas})
+}
+
+// WriteJSONL writes every snapshot as one JSON object per line — the
+// metrics-snapshot output file format (EXPERIMENTS.md "Metrics
+// snapshots").
+func (m *MetricsLog) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, s := range m.Snapshots {
+		if err := enc.Encode(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CounterNames returns every counter name appearing in any snapshot,
+// sorted.
+func (m *MetricsLog) CounterNames() []string {
+	seen := map[string]bool{}
+	for _, s := range m.Snapshots {
+		for k := range s.Deltas {
+			seen[k] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// RingSink retains the most recent N events in a fixed ring buffer —
+// the "flight recorder" used for squash post-mortems: run with the ring
+// attached, then read back the window of events that led up to the
+// failure. Optionally it freezes on a trigger event so the window ends
+// exactly at the squash of interest instead of being overwritten by
+// later traffic.
+//
+// RingSink is safe for concurrent writers; its memory is allocated once
+// at construction and Emit never allocates.
+type RingSink struct {
+	mu     sync.Mutex
+	buf    []Event
+	next   int
+	filled bool
+	frozen bool
+	// FreezeWhen, if set, is evaluated on every event after it is
+	// recorded; the first event for which it returns true freezes the
+	// ring (subsequent Emits are dropped), preserving the events that
+	// led up to the trigger.
+	FreezeWhen func(Event) bool
+}
+
+// NewRingSink creates a ring retaining the last n events (n must be
+// positive).
+func NewRingSink(n int) *RingSink {
+	if n <= 0 {
+		panic("trace: ring size must be positive")
+	}
+	return &RingSink{buf: make([]Event, n)}
+}
+
+// Emit implements Sink: the event overwrites the oldest slot; if the
+// ring is frozen the event is dropped.
+func (r *RingSink) Emit(ev Event) {
+	r.mu.Lock()
+	if r.frozen {
+		r.mu.Unlock()
+		return
+	}
+	r.buf[r.next] = ev
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.filled = true
+	}
+	if r.FreezeWhen != nil && r.FreezeWhen(ev) {
+		r.frozen = true
+	}
+	r.mu.Unlock()
+}
+
+// Flush implements Sink; it is a no-op (the ring lives in memory).
+func (r *RingSink) Flush() error { return nil }
+
+// Frozen reports whether the freeze trigger has fired.
+func (r *RingSink) Frozen() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.frozen
+}
+
+// Len returns the number of events currently retained.
+func (r *RingSink) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.filled {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Snapshot returns the retained events oldest-first.
+func (r *RingSink) Snapshot() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Event
+	if r.filled {
+		out = make([]Event, 0, len(r.buf))
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+	} else {
+		out = append(out, r.buf[:r.next]...)
+	}
+	return out
+}
+
+// Dump writes the retained events oldest-first as aligned human-readable
+// text — the squash post-mortem format shown in README "Tracing &
+// profiling".
+func (r *RingSink) Dump(w io.Writer) error {
+	for _, ev := range r.Snapshot() {
+		line := fmt.Sprintf("%10d c%-2d %-15s", ev.Cycle, ev.Core, ev.Kind)
+		if ev.Reason != RNone {
+			line += fmt.Sprintf(" %-12s", ev.Reason)
+		} else {
+			line += fmt.Sprintf(" %-12s", "")
+		}
+		line += fmt.Sprintf(" tag=%-6d pc=%#-10x addr=%#-10x val=%#x",
+			ev.Tag, ev.PC, ev.Addr, ev.Value)
+		if ev.Kind == KValueMismatch {
+			line += fmt.Sprintf(" premature=%#x", ev.Aux)
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,298 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestKindReasonJSONRoundTrip(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		b, err := json.Marshal(k)
+		if err != nil {
+			t.Fatalf("marshal kind %d: %v", k, err)
+		}
+		var back Kind
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("unmarshal kind %s: %v", b, err)
+		}
+		if back != k {
+			t.Errorf("kind %d round-tripped to %d", k, back)
+		}
+	}
+	for r := Reason(0); r < numReasons; r++ {
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatalf("marshal reason %d: %v", r, err)
+		}
+		var back Reason
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("unmarshal reason %s: %v", b, err)
+		}
+		if back != r {
+			t.Errorf("reason %d round-tripped to %d", r, back)
+		}
+	}
+	var k Kind
+	if err := json.Unmarshal([]byte(`"no-such-kind"`), &k); err == nil {
+		t.Error("unknown kind name should fail to unmarshal")
+	}
+}
+
+func TestNewNilSink(t *testing.T) {
+	if New(nil) != nil {
+		t.Error("New(nil) must return a nil tracer (tracing disabled)")
+	}
+	var tr *Tracer
+	if err := tr.Flush(); err != nil {
+		t.Errorf("nil tracer Flush: %v", err)
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	r := NewRingSink(4)
+	if r.Len() != 0 {
+		t.Fatalf("empty ring Len = %d", r.Len())
+	}
+	for i := 0; i < 3; i++ {
+		r.Emit(Event{Cycle: int64(i), Kind: KReplay})
+	}
+	if r.Len() != 3 {
+		t.Fatalf("partial ring Len = %d, want 3", r.Len())
+	}
+	got := r.Snapshot()
+	for i, ev := range got {
+		if ev.Cycle != int64(i) {
+			t.Errorf("pre-wrap snapshot[%d].Cycle = %d, want %d", i, ev.Cycle, i)
+		}
+	}
+	// Push past capacity: events 3..9 over a 4-slot ring leave 6..9.
+	for i := 3; i < 10; i++ {
+		r.Emit(Event{Cycle: int64(i), Kind: KReplay})
+	}
+	if r.Len() != 4 {
+		t.Fatalf("full ring Len = %d, want 4", r.Len())
+	}
+	got = r.Snapshot()
+	for i, ev := range got {
+		want := int64(6 + i)
+		if ev.Cycle != want {
+			t.Errorf("post-wrap snapshot[%d].Cycle = %d, want %d (oldest-first)", i, ev.Cycle, want)
+		}
+	}
+}
+
+func TestRingFreezeWhen(t *testing.T) {
+	r := NewRingSink(8)
+	r.FreezeWhen = func(ev Event) bool { return ev.Kind == KSquash }
+	for i := 0; i < 3; i++ {
+		r.Emit(Event{Cycle: int64(i), Kind: KLoadIssue})
+	}
+	r.Emit(Event{Cycle: 3, Kind: KSquash, Reason: RSquashReplayCons})
+	if !r.Frozen() {
+		t.Fatal("ring should freeze on the trigger event")
+	}
+	// Post-trigger traffic must not overwrite the post-mortem window.
+	for i := 4; i < 100; i++ {
+		r.Emit(Event{Cycle: int64(i), Kind: KReplay})
+	}
+	got := r.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("frozen ring holds %d events, want 4", len(got))
+	}
+	last := got[len(got)-1]
+	if last.Kind != KSquash || last.Cycle != 3 {
+		t.Errorf("last retained event = %v %d, want the squash trigger at cycle 3", last.Kind, last.Cycle)
+	}
+}
+
+func TestRingDump(t *testing.T) {
+	r := NewRingSink(4)
+	r.Emit(Event{Cycle: 10, Core: 1, Kind: KValueMismatch, Value: 0xbeef, Aux: 0xdead})
+	var buf bytes.Buffer
+	if err := r.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"value-mismatch", "premature=0xdead", "val=0xbeef", "c1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Dump output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestConcurrentEmit exercises the sinks' concurrency contract: several
+// goroutines standing in for per-core emitters write simultaneously and
+// every event must be accounted for (run with -race to check the locks).
+func TestConcurrentEmit(t *testing.T) {
+	const cores, perCore = 8, 1000
+	ring := NewRingSink(64)
+	count := &CountSink{}
+	var jsonBuf bytes.Buffer
+	tee := &TeeSink{Sinks: []Sink{ring, count, NewJSONLSink(&jsonBuf)}}
+	var wg sync.WaitGroup
+	for c := 0; c < cores; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perCore; i++ {
+				tee.Emit(Event{Cycle: int64(i), Core: int32(c), Kind: KReplay})
+			}
+		}(c)
+	}
+	wg.Wait()
+	if err := tee.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := count.Count(KReplay); got != cores*perCore {
+		t.Errorf("CountSink saw %d events, want %d", got, cores*perCore)
+	}
+	if ring.Len() != 64 {
+		t.Errorf("ring Len = %d, want full (64)", ring.Len())
+	}
+	evs, err := ReadJSONL(&jsonBuf)
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if len(evs) != cores*perCore {
+		t.Errorf("JSONL holds %d events, want %d", len(evs), cores*perCore)
+	}
+}
+
+func TestJSONLEventRoundTrip(t *testing.T) {
+	in := []Event{
+		{Cycle: 1, Core: 0, Kind: KLoadIssue, Tag: 42, PC: 0x400, Addr: 0x1000, Value: 7, Aux: FlagForwarded | FlagNUS},
+		{Cycle: 2, Core: 1, Kind: KFilterDecision, Reason: RFiltered, Tag: 43},
+		{Cycle: 3, Core: -1, Kind: KDMAWrite, Addr: 0x2000},
+		{Cycle: 4, Core: 0, Kind: KSquash, Reason: RSquashVPred, Tag: 44, PC: 0x408},
+	}
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	for _, ev := range in {
+		s.Emit(ev)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("read %d events, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("event %d round-tripped to %+v, want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+// TestChromeWellFormed checks the Chrome trace_event export is valid
+// JSON with the expected structure — the well-formedness contract that
+// makes the file loadable in Perfetto.
+func TestChromeWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewChromeSink(&buf)
+	s.Emit(Event{Cycle: 5, Core: 0, Kind: KLoadIssue, Tag: 1, PC: 0x400, Addr: 0x1000, Value: 9})
+	s.Emit(Event{Cycle: 6, Core: 0, Kind: KReplay, Tag: 1, Addr: 0x1000, Value: 9})
+	s.Emit(Event{Cycle: 7, Core: 1, Kind: KSquash, Reason: RSquashMispredict, Tag: 8})
+	s.Emit(Event{Cycle: 8, Core: 0, Kind: KROBOcc, Value: 17})
+	s.Emit(Event{Cycle: 9, Core: -1, Kind: KDMAWrite, Addr: 0x2000})
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   *int64         `json:"ts"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	// 5 events + one thread_name metadata record per distinct core (0, 1, -1).
+	if len(doc.TraceEvents) != 8 {
+		t.Fatalf("got %d traceEvents, want 8", len(doc.TraceEvents))
+	}
+	phases := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		phases[ev.Ph]++
+	}
+	if phases["M"] != 3 || phases["X"] != 2 || phases["C"] != 1 || phases["i"] != 2 {
+		t.Errorf("phase histogram = %v, want M:3 X:2 C:1 i:2", phases)
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "M" && ev.Ts == nil {
+			t.Errorf("event %q (ph=%s) lacks a ts field", ev.Name, ev.Ph)
+		}
+	}
+}
+
+func TestHist(t *testing.T) {
+	h := NewHist(255, 16)
+	for v := 0; v <= 255; v++ {
+		h.Observe(v)
+	}
+	if h.Count() != 256 {
+		t.Fatalf("Count = %d, want 256", h.Count())
+	}
+	if got, want := h.Mean(), 127.5; got != want {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+	var total uint64
+	for i, c := range h.Buckets {
+		total += c
+		if c != 16 {
+			t.Errorf("bucket %d holds %d, want uniform 16", i, c)
+		}
+	}
+	if total != 256 {
+		t.Errorf("bucket total = %d, want 256", total)
+	}
+	// Clamping: negative and above-max observations must not panic.
+	h.Observe(-5)
+	h.Observe(100000)
+	if h.Buckets[0] != 17 || h.Buckets[len(h.Buckets)-1] != 17 {
+		t.Error("out-of-range observations should clamp into the edge buckets")
+	}
+	if !strings.Contains(h.String(), "mean") {
+		t.Error("String output should report the mean")
+	}
+}
+
+func TestMetricsLog(t *testing.T) {
+	m := NewMetricsLog(2, 100, 256, 128, 64)
+	m.Record(100, 0, 10, 5, 3, map[string]uint64{"committed": 50, "replays": 2})
+	m.Record(100, 1, 20, 8, 1, map[string]uint64{"committed": 40, "replays": 0})
+	m.Record(200, 0, 12, 6, 2, map[string]uint64{"committed": 125, "replays": 2})
+	if len(m.Snapshots) != 3 {
+		t.Fatalf("got %d snapshots, want 3", len(m.Snapshots))
+	}
+	// The second core-0 sample must report the interval delta, not the total.
+	last := m.Snapshots[2]
+	if last.Deltas["committed"] != 75 || last.Deltas["replays"] != 0 {
+		t.Errorf("deltas = %v, want committed:75 replays:0", last.Deltas)
+	}
+	if got := m.ROB[0].Count(); got != 2 {
+		t.Errorf("core 0 ROB histogram has %d samples, want 2", got)
+	}
+	names := m.CounterNames()
+	if len(names) != 2 || names[0] != "committed" || names[1] != "replays" {
+		t.Errorf("CounterNames = %v", names)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 3 {
+		t.Errorf("WriteJSONL wrote %d lines, want 3", got)
+	}
+}
