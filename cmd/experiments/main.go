@@ -19,7 +19,7 @@ import (
 
 func main() {
 	var (
-		which      = flag.String("experiment", "all", "all | tables | fig5 | fig6 | fig7 | fig8 | squash | power | relatedwork | snapshots")
+		which      = flag.String("experiment", "all", "all | tables | fig5 | fig6 | fig7 | fig8 | squash | power | relatedwork | snapshots | litmus")
 		quick      = flag.Bool("quick", false, "reduced instruction budgets and core counts")
 		cores      = flag.Int("cores", 0, "override MP core count")
 		uniInstr   = flag.Uint64("uni", 0, "override uniprocessor instructions")
@@ -102,6 +102,7 @@ func main() {
 		experiments.Power(w, m)
 		experiments.Figure8(w, cfg)
 		experiments.RelatedWork(w, cfg)
+		experiments.LitmusMatrix(w, cfg)
 	case "tables":
 		experiments.Tables(w)
 	case "fig5":
@@ -121,6 +122,10 @@ func main() {
 	case "snapshots":
 		if err := experiments.Snapshots(w, cfg, *snapDir); err != nil {
 			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case "litmus":
+		if sum := experiments.LitmusMatrix(w, cfg); !sum.SoundOK || !sum.UnsoundCaught {
 			os.Exit(1)
 		}
 	default:

@@ -1,0 +1,206 @@
+// Command litmus runs the memory-ordering litmus battery: every test is
+// compiled to a multiprocessor program, swept across machine
+// configurations × seeds × timing perturbations, and each committed
+// outcome is classified against an exhaustive sequential-consistency
+// oracle and cross-checked with the constraint-graph checker.
+//
+//	litmus -all                      # full battery × standard configs
+//	litmus -test SB -runs 2000       # one test, deeper sweep
+//	litmus -list                     # battery index
+//	litmus -all -json                # machine-readable verdict matrix
+//
+// The exit status is nonzero when a sound configuration admitted an
+// SC-forbidden outcome (or cyclic constraint graph), or when the
+// deliberately unsound NUS-alone configuration escaped every test.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"vbmo/internal/litmus"
+)
+
+func main() {
+	var (
+		all      = flag.Bool("all", false, "run the full battery on the standard configurations")
+		testName = flag.String("test", "", "run one battery test by name (see -list)")
+		cfgName  = flag.String("config", "", "restrict the sweep to one configuration")
+		list     = flag.Bool("list", false, "list battery tests and configurations, then exit")
+		runs     = flag.Int("runs", 1000, "perturbed executions per (test, config) cell")
+		workers  = flag.Int("workers", runtime.NumCPU(), "worker pool size")
+		seed     = flag.Uint64("seed", 1, "base seed for the perturbation streams")
+		jsonOut  = flag.Bool("json", false, "emit the verdict matrix as JSON instead of text")
+		oracle   = flag.Bool("oracle", false, "also print each test's SC-allowed outcome set")
+		quiet    = flag.Bool("q", false, "suppress per-cell progress lines")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("battery tests:")
+		for _, t := range litmus.Battery() {
+			fmt.Printf("  %-10s %s\n", t.Name, t.Doc)
+		}
+		fmt.Println("configurations:")
+		for _, c := range litmus.Configs() {
+			kind := "sound"
+			if !c.Sound {
+				kind = "UNSOUND"
+			}
+			fmt.Printf("  %-10s %-8s %s\n", c.Name, kind, c.Machine.Name)
+		}
+		return
+	}
+
+	var tests []*litmus.Test
+	switch {
+	case *testName != "":
+		t, ok := litmus.ByName(*testName)
+		if !ok {
+			names := make([]string, 0, len(litmus.Battery()))
+			for _, t := range litmus.Battery() {
+				names = append(names, t.Name)
+			}
+			fmt.Fprintf(os.Stderr, "unknown test %q; valid tests: %s\n",
+				*testName, strings.Join(names, ", "))
+			os.Exit(1)
+		}
+		tests = []*litmus.Test{t}
+	case *all:
+		tests = litmus.Battery()
+	default:
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -all, -test NAME, or -list")
+		os.Exit(1)
+	}
+
+	var cfgs []litmus.Config
+	if *cfgName != "" {
+		c, ok := litmus.ConfigByName(*cfgName)
+		if !ok {
+			names := make([]string, 0, len(litmus.Configs()))
+			for _, c := range litmus.Configs() {
+				names = append(names, c.Name)
+			}
+			fmt.Fprintf(os.Stderr, "unknown config %q; valid configs: %s\n",
+				*cfgName, strings.Join(names, ", "))
+			os.Exit(1)
+		}
+		cfgs = []litmus.Config{c}
+	} else {
+		cfgs = litmus.Configs()
+	}
+
+	if *oracle && !*jsonOut {
+		for _, t := range tests {
+			as := litmus.Allowed(t)
+			fmt.Printf("%s — %s\n", t.Name, t.Doc)
+			for _, key := range as.Keys() {
+				fmt.Printf("  allowed: %s\n", key)
+			}
+		}
+	}
+
+	opts := litmus.SweepOptions{
+		Tests: tests, Configs: cfgs,
+		Runs: *runs, Workers: *workers, Seed: *seed,
+	}
+	if !*jsonOut && !*quiet {
+		opts.Progress = func(done, total int, v litmus.Verdict) {
+			status := "ok"
+			if v.Sound && !v.Pass() {
+				status = "FAIL"
+			} else if !v.Sound && v.Caught() {
+				status = "caught"
+			}
+			fmt.Printf("[%3d/%3d] %-10s × %-10s %d runs, %d outcomes, forbidden=%d cycles=%d incomplete=%d  %s\n",
+				done, total, v.Test, v.Config, v.Runs, len(v.Histogram),
+				v.Forbidden, v.Cycles, v.Incomplete, status)
+		}
+	}
+
+	start := time.Now()
+	verdicts := litmus.Sweep(opts)
+	sum := litmus.Summarize(verdicts)
+	elapsed := time.Since(start)
+
+	if *jsonOut {
+		out := struct {
+			Runs     int              `json:"runs"`
+			Seed     uint64           `json:"seed"`
+			Elapsed  float64          `json:"elapsed_sec"`
+			Verdicts []litmus.Verdict `json:"verdicts"`
+			Summary  litmus.Summary   `json:"summary"`
+		}{*runs, *seed, elapsed.Seconds(), verdicts, sum}
+		enc := json.NewEncoder(os.Stdout)
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		printMatrix(verdicts, tests, cfgs)
+		fmt.Printf("\nsound configurations clean: %v", sum.SoundOK)
+		if len(sum.FailedCells) > 0 {
+			fmt.Printf("  (failed: %s)", strings.Join(sum.FailedCells, ", "))
+		}
+		fmt.Println()
+		hasUnsound := false
+		for _, c := range cfgs {
+			if !c.Sound {
+				hasUnsound = true
+			}
+		}
+		if hasUnsound {
+			fmt.Printf("unsound configuration caught: %v", sum.UnsoundCaught)
+			if len(sum.CaughtBy) > 0 {
+				fmt.Printf("  (by: %s)", strings.Join(sum.CaughtBy, ", "))
+			}
+			fmt.Println()
+		}
+		fmt.Printf("[%s elapsed]\n", elapsed.Round(time.Millisecond))
+	}
+
+	// A sound-config violation always fails. The catch requirement on
+	// the unsound configuration is a battery-level contract: a single
+	// test legitimately escapes (MP never catches NUS-alone), so it is
+	// only enforced when the full battery ran.
+	if !sum.SoundOK || (*all && *testName == "" && !sum.UnsoundCaught) {
+		os.Exit(1)
+	}
+}
+
+// printMatrix renders the verdict matrix as a test × config table. A
+// sound cell shows ok/FAIL; the unsound column shows how many runs the
+// checker caught (caught=N) or "escaped" when none did.
+func printMatrix(vs []litmus.Verdict, tests []*litmus.Test, cfgs []litmus.Config) {
+	byCell := make(map[string]litmus.Verdict, len(vs))
+	for _, v := range vs {
+		byCell[v.Test+"/"+v.Config] = v
+	}
+	fmt.Printf("\n%-10s", "")
+	for _, c := range cfgs {
+		fmt.Printf(" %-12s", c.Name)
+	}
+	fmt.Println()
+	for _, t := range tests {
+		fmt.Printf("%-10s", t.Name)
+		for _, c := range cfgs {
+			v := byCell[t.Name+"/"+c.Name]
+			cell := "ok"
+			switch {
+			case v.Sound && !v.Pass():
+				cell = fmt.Sprintf("FAIL(%d)", v.Forbidden+v.Cycles+v.Incomplete)
+			case !v.Sound && v.Caught():
+				cell = fmt.Sprintf("caught=%d", v.Forbidden+v.Cycles)
+			case !v.Sound:
+				cell = "escaped"
+			}
+			fmt.Printf(" %-12s", cell)
+		}
+		fmt.Println()
+	}
+}

@@ -3,15 +3,16 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"vbmo/internal/config"
-	"vbmo/internal/core"
 	"vbmo/internal/system"
 	"vbmo/internal/trace"
 	"vbmo/internal/workload"
@@ -20,12 +21,14 @@ import (
 func main() {
 	var (
 		workName = flag.String("workload", "gzip", "workload name (see -list)")
-		machine  = flag.String("machine", "baseline", "baseline | replay-all | no-reorder | no-recent-miss | no-recent-snoop | baseline-lq16 | baseline-lq32 | baseline-insulated | baseline-hybrid | baseline-bloom | baseline-hiersq | replay-vpred")
+		machine  = flag.String("machine", "baseline", "machine configuration (see -list-machines)")
 		cores    = flag.Int("cores", 1, "number of processors")
 		insts    = flag.Uint64("n", 100000, "instructions to commit per core")
 		seed     = flag.Uint64("seed", 42, "random seed")
 		list     = flag.Bool("list", false, "list workloads and exit")
+		listMach = flag.Bool("list-machines", false, "list machine configurations and exit")
 		verifySC = flag.Bool("sc", false, "verify sequential consistency with the constraint-graph checker")
+		jsonOut  = flag.Bool("json", false, "emit the end-of-run counters as a single JSON object instead of text")
 		verbose  = flag.Bool("v", false, "print detailed counters")
 
 		traceOut    = flag.String("trace", "", "write the event trace to this file (- for stdout)")
@@ -74,39 +77,26 @@ func main() {
 		}
 		return
 	}
+	if *listMach {
+		for _, name := range config.Names() {
+			fmt.Printf("%-20s %s\n", name, config.Describe(name))
+		}
+		return
+	}
 	work, ok := workload.ByName(*workName)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workName)
+		names := make([]string, 0, len(workload.Catalog()))
+		for _, w := range workload.Catalog() {
+			names = append(names, w.Name)
+		}
+		fmt.Fprintf(os.Stderr, "unknown workload %q; valid workloads: %s\n",
+			*workName, strings.Join(names, ", "))
 		os.Exit(1)
 	}
-	var cfg config.Machine
-	switch *machine {
-	case "baseline":
-		cfg = config.Baseline()
-	case "replay-all":
-		cfg = config.Replay(core.ReplayAll)
-	case "no-reorder":
-		cfg = config.Replay(core.NoReorder)
-	case "no-recent-miss":
-		cfg = config.Replay(core.NoRecentMiss)
-	case "no-recent-snoop":
-		cfg = config.Replay(core.NoRecentSnoop)
-	case "baseline-lq16":
-		cfg = config.ConstrainedBaseline(16)
-	case "baseline-lq32":
-		cfg = config.ConstrainedBaseline(32)
-	case "baseline-insulated":
-		cfg = config.InsulatedBaseline()
-	case "baseline-hybrid":
-		cfg = config.HybridBaseline()
-	case "baseline-bloom":
-		cfg = config.BloomBaseline()
-	case "baseline-hiersq":
-		cfg = config.HierSQBaseline()
-	case "replay-vpred":
-		cfg = config.ReplayVP(core.NoRecentSnoop)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown machine %q\n", *machine)
+	cfg, ok := config.ByName(*machine)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown machine %q; valid machines: %s\n",
+			*machine, strings.Join(config.Names(), ", "))
 		os.Exit(1)
 	}
 	// Trace plumbing: the chosen format's sink is teed with a counting
@@ -174,35 +164,81 @@ func main() {
 	start := time.Now()
 	res := s.Run(*insts, opt)
 	elapsed := time.Since(start)
-	fmt.Println(res)
 	p := res.Pipe
-	fmt.Printf("loads=%d stores=%d branches=%d mispredict=%.4f\n",
-		p.CommittedLoads, p.CommittedStores, p.CommittedBranches,
-		float64(res.Counters.Get("bp.mispredicts"))/float64(max64(1, res.Counters.Get("bp.lookups"))))
-	fmt.Printf("L1D: demand=%d forwarded=%d replay=%d store=%d\n",
-		p.DemandLoadAccesses, p.ForwardedLoads, p.ReplayAccesses, p.StoreAccesses)
-	fmt.Printf("squash: mispred=%d rawLQ=%d invalLQ=%d replayRAW=%d replayCons=%d\n",
-		p.SquashesMispredict, p.SquashesRAW, p.SquashesInval, p.SquashesReplayRAW, p.SquashesReplayCons)
-	fmt.Printf("flags: NUS=%d reordered=%d  ROBavg=%.1f\n",
-		p.LoadsNUSFlagged, p.LoadsReordered, p.AvgROBOccupancy())
-	fmt.Printf("replays/instr=%.4f  sim-speed=%.0f inst/s\n",
-		float64(p.ReplayAccesses)/float64(p.Committed),
-		float64(p.Committed)/elapsed.Seconds())
-	if s.Metrics != nil {
-		fmt.Printf("snapshots: %d recorded  occupancy means: ROB=%.1f LQ=%.1f SQ=%.1f (core 0)\n",
-			len(s.Metrics.Snapshots),
-			s.Metrics.ROB[0].Mean(), s.Metrics.LQ[0].Mean(), s.Metrics.SQ[0].Mean())
+	if !*jsonOut {
+		fmt.Println(res)
+		fmt.Printf("loads=%d stores=%d branches=%d mispredict=%.4f\n",
+			p.CommittedLoads, p.CommittedStores, p.CommittedBranches,
+			float64(res.Counters.Get("bp.mispredicts"))/float64(max64(1, res.Counters.Get("bp.lookups"))))
+		fmt.Printf("L1D: demand=%d forwarded=%d replay=%d store=%d\n",
+			p.DemandLoadAccesses, p.ForwardedLoads, p.ReplayAccesses, p.StoreAccesses)
+		fmt.Printf("squash: mispred=%d rawLQ=%d invalLQ=%d replayRAW=%d replayCons=%d\n",
+			p.SquashesMispredict, p.SquashesRAW, p.SquashesInval, p.SquashesReplayRAW, p.SquashesReplayCons)
+		fmt.Printf("flags: NUS=%d reordered=%d  ROBavg=%.1f\n",
+			p.LoadsNUSFlagged, p.LoadsReordered, p.AvgROBOccupancy())
+		fmt.Printf("replays/instr=%.4f  sim-speed=%.0f inst/s\n",
+			float64(p.ReplayAccesses)/float64(p.Committed),
+			float64(p.Committed)/elapsed.Seconds())
+		if s.Metrics != nil {
+			fmt.Printf("snapshots: %d recorded  occupancy means: ROB=%.1f LQ=%.1f SQ=%.1f (core 0)\n",
+				len(s.Metrics.Snapshots),
+				s.Metrics.ROB[0].Mean(), s.Metrics.LQ[0].Mean(), s.Metrics.SQ[0].Mean())
+		}
 	}
 	scViolation := false
+	scResult := ""
 	if *verifySC {
 		// The SC check runs before trace finalization so the checker's
 		// graph-edge events land in the trace file.
 		op, cyc, g := s.CheckSC()
 		if cyc {
-			fmt.Printf("SC VIOLATION: %s at proc %d op %d addr %#x\n", g, op.Proc, op.Index, op.Addr)
+			scResult = fmt.Sprintf("violation: %s at proc %d op %d addr %#x", g, op.Proc, op.Index, op.Addr)
 			scViolation = true
 		} else {
-			fmt.Printf("sequentially consistent ✓ (%s)\n", g)
+			scResult = fmt.Sprintf("consistent (%s)", g)
+		}
+		if !*jsonOut {
+			if cyc {
+				fmt.Printf("SC VIOLATION: %s\n", scResult)
+			} else {
+				fmt.Printf("sequentially consistent ✓ (%s)\n", g)
+			}
+		}
+	}
+	if *jsonOut {
+		counters := make(map[string]uint64, len(res.Counters.Names()))
+		for _, name := range res.Counters.Names() {
+			counters[name] = res.Counters.Get(name)
+		}
+		out := jsonResult{
+			Machine:    res.Machine,
+			Workload:   res.Workload,
+			Cores:      res.Cores,
+			Seed:       *seed,
+			Cycles:     res.Cycles,
+			Committed:  p.Committed,
+			IPC:        res.IPC,
+			ElapsedSec: elapsed.Seconds(),
+			Loads:      p.CommittedLoads,
+			Stores:     p.CommittedStores,
+			Branches:   p.CommittedBranches,
+			Replays:    p.ReplayAccesses,
+			Squashes: jsonSquashes{
+				Mispredict: p.SquashesMispredict,
+				RAWLQ:      p.SquashesRAW,
+				InvalLQ:    p.SquashesInval,
+				ReplayRAW:  p.SquashesReplayRAW,
+				ReplayCons: p.SquashesReplayCons,
+			},
+			Counters: counters,
+		}
+		if *verifySC {
+			out.SC = &scResult
+		}
+		enc := json.NewEncoder(os.Stdout)
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 	}
 	if tracer != nil {
@@ -228,19 +264,49 @@ func main() {
 				os.Exit(1)
 			}
 		}
-		fmt.Printf("trace: %d events (load-issue=%d filter=%d replay=%d mismatch=%d squash=%d snoop=%d fill=%d graph-edge=%d)\n",
-			counts.Total(),
-			counts.Count(trace.KLoadIssue), counts.Count(trace.KFilterDecision),
-			counts.Count(trace.KReplay), counts.Count(trace.KValueMismatch),
-			counts.Count(trace.KSquash), counts.Count(trace.KSnoopInval),
-			counts.Count(trace.KExtFill), counts.Count(trace.KGraphEdge))
+		if !*jsonOut {
+			fmt.Printf("trace: %d events (load-issue=%d filter=%d replay=%d mismatch=%d squash=%d snoop=%d fill=%d graph-edge=%d)\n",
+				counts.Total(),
+				counts.Count(trace.KLoadIssue), counts.Count(trace.KFilterDecision),
+				counts.Count(trace.KReplay), counts.Count(trace.KValueMismatch),
+				counts.Count(trace.KSquash), counts.Count(trace.KSnoopInval),
+				counts.Count(trace.KExtFill), counts.Count(trace.KGraphEdge))
+		}
 	}
 	if scViolation {
 		os.Exit(2)
 	}
-	if *verbose {
+	if *verbose && !*jsonOut {
 		fmt.Print(res.Counters)
 	}
+}
+
+// jsonResult is the -json output shape: the end-of-run counters as one
+// JSON object on stdout, nothing else.
+type jsonResult struct {
+	Machine    string            `json:"machine"`
+	Workload   string            `json:"workload"`
+	Cores      int               `json:"cores"`
+	Seed       uint64            `json:"seed"`
+	Cycles     int64             `json:"cycles"`
+	Committed  uint64            `json:"committed"`
+	IPC        float64           `json:"ipc"`
+	ElapsedSec float64           `json:"elapsed_sec"`
+	Loads      uint64            `json:"loads"`
+	Stores     uint64            `json:"stores"`
+	Branches   uint64            `json:"branches"`
+	Replays    uint64            `json:"replays"`
+	Squashes   jsonSquashes      `json:"squashes"`
+	SC         *string           `json:"sc,omitempty"`
+	Counters   map[string]uint64 `json:"counters"`
+}
+
+type jsonSquashes struct {
+	Mispredict uint64 `json:"mispredict"`
+	RAWLQ      uint64 `json:"raw_lq"`
+	InvalLQ    uint64 `json:"inval_lq"`
+	ReplayRAW  uint64 `json:"replay_raw"`
+	ReplayCons uint64 `json:"replay_cons"`
 }
 
 func max64(a, b uint64) uint64 {

@@ -132,15 +132,22 @@ type Hierarchy struct {
 	tlb     *TLB
 	backend Backend
 	mshr    map[uint64]int64 // block -> fill-ready cycle
-	// OnFill, if set, is called when a block that may carry another
-	// agent's data enters the local hierarchy — demand misses,
-	// prefetches and store write-allocates alike. This is the paper's
-	// no-recent-miss signal ("each time a new cache block enters a
-	// processor's local cache, the cache unit asserts a signal", §3.1),
-	// restricted soundly to externally-written blocks: the bus flags a
-	// fill as external whenever the block's last writer was a different
-	// agent, even if the data physically arrives from memory after a
-	// castout.
+	// OnFill, if set, is called when a block enters the local hierarchy
+	// (demand misses and store write-allocates) or re-enters it in a
+	// new coherence state (a bus exclusivity upgrade). This is the
+	// paper's no-recent-miss signal ("each time a new cache block
+	// enters a processor's local cache, the cache unit asserts a
+	// signal", §3.1), asserted for every demand fill regardless of
+	// source: a fill from memory can race a remote store to the same
+	// block — the data crosses the bus before the store performs, the
+	// later invalidation is not a fill, and a premature load bound to
+	// the fill's value would commit stale with no event in between (the
+	// SB litmus test exposes exactly this with cold caches). Upgrades
+	// are the write side of the same argument: a dependence cycle
+	// through this processor must enter through some bus transaction
+	// program-ordered before the vulnerable load, and with warm caches
+	// a store's upgrade can be the only one (SB again, prewarmed).
+	// External prefetch fills also assert it.
 	OnFill func(block uint64)
 	// OnExternalFill, if set, is called for the subset of fills sourced
 	// from another processor's cache or a DMA agent.
@@ -236,7 +243,7 @@ func (h *Hierarchy) lookupData(block uint64, cycle int64) AccessResult {
 	lat += h.cfg.L3.Latency // miss traverses the hierarchy
 	h.fill(block)
 	h.mshr[block] = cycle + int64(lat)
-	if external && h.OnFill != nil {
+	if h.OnFill != nil {
 		h.OnFill(block)
 	}
 	src := SrcMemory
@@ -280,6 +287,23 @@ func (h *Hierarchy) observePrefetch(pc, addr uint64) {
 	}
 }
 
+// Prewarm establishes a read copy of addr's block through the normal
+// fill path — the backend (bus directory) registers this core as a
+// sharer, so later invalidations are still delivered — without charging
+// an MSHR into the future and without asserting the no-recent-miss
+// fill signal (prewarming models pre-run state, not a mid-run event).
+func (h *Hierarchy) Prewarm(addr uint64) {
+	block := BlockAddr(addr)
+	if h.l1d.Lookup(block) {
+		return
+	}
+	if !h.l2.Contains(block) && !h.l3.Contains(block) {
+		h.backend.FetchRead(h.Core, block)
+	}
+	h.fill(block)
+	delete(h.mshr, block)
+}
+
 // ReadReplay performs the replay stage's second cache access for a
 // load: identical timing to Read, but it does not train the stride
 // prefetcher (replays revisit old addresses and would destroy stride
@@ -308,11 +332,11 @@ func (h *Hierarchy) Write(addr uint64, cycle int64) AccessResult {
 	lat, external := h.backend.FetchExclusive(h.Core, block)
 	h.Stats.WriteUpgrades++
 	h.fill(block)
-	if !present && external && h.OnFill != nil {
-		// A store's write-allocate also brings a block into the
-		// hierarchy; without this signal a later load could hit on the
-		// block and observe a remote processor's data (e.g. another
-		// word of a falsely-shared line) with no no-recent-miss event.
+	if h.OnFill != nil {
+		// A store's write-allocate brings a block into the hierarchy,
+		// and an exclusivity upgrade re-acquires one over the bus; both
+		// assert the no-recent-miss signal (see the OnFill doc — the
+		// upgrade case is what catches warm-cache SB).
 		h.OnFill(block)
 	}
 	if external {

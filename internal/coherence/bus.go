@@ -212,6 +212,25 @@ func (b *Bus) probeInvalidate(core int, block uint64) {
 	}
 }
 
+// Probe invalidates every cached copy of block without changing the
+// block's data, ownership history, or external-source marking: pure
+// coherence contention. Litmus sweeps use it as a timing perturbation —
+// each delivered probe reaches the snooping load queues and the
+// no-recent-snoop filter exactly like a real remote write's
+// invalidation, while the memory image is untouched.
+func (b *Bus) Probe(block uint64) {
+	e, ok := b.dir[block]
+	if !ok {
+		return
+	}
+	for c := range b.peers {
+		if e.sharers&(1<<uint(c)) != 0 || e.owner == c {
+			b.probeInvalidate(c, block)
+		}
+	}
+	b.dir[block] = entry{owner: ownerNone}
+}
+
 // StillExclusive implements cache.Backend.
 func (b *Bus) StillExclusive(core int, block uint64) bool {
 	e, ok := b.dir[block]

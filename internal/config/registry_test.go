@@ -1,0 +1,36 @@
+package config
+
+import "testing"
+
+func TestRegistryResolvesEveryName(t *testing.T) {
+	names := Names()
+	if len(names) == 0 {
+		t.Fatal("empty registry")
+	}
+	seen := map[string]bool{}
+	for _, name := range names {
+		if seen[name] {
+			t.Errorf("duplicate registry name %q", name)
+		}
+		seen[name] = true
+		m, ok := ByName(name)
+		if !ok {
+			t.Errorf("ByName(%q) failed", name)
+		}
+		if m.Name == "" {
+			t.Errorf("machine %q has no Name", name)
+		}
+		if Describe(name) == "" {
+			t.Errorf("machine %q has no description", name)
+		}
+	}
+}
+
+func TestRegistryUnknownName(t *testing.T) {
+	if _, ok := ByName("no-such-machine"); ok {
+		t.Error("ByName must fail for unregistered names")
+	}
+	if Describe("no-such-machine") != "" {
+		t.Error("Describe must be empty for unregistered names")
+	}
+}

@@ -13,7 +13,6 @@ import (
 	"sync"
 
 	"vbmo/internal/config"
-	"vbmo/internal/core"
 	"vbmo/internal/stats"
 	"vbmo/internal/system"
 	"vbmo/internal/workload"
@@ -38,27 +37,32 @@ type Config struct {
 	Workloads []string
 	// Parallel enables running data points on multiple OS threads.
 	Parallel bool
+	// LitmusRuns is the perturbed executions per litmus (test, config)
+	// cell in the litmus experiment.
+	LitmusRuns int
 }
 
 // DefaultConfig returns the standard experiment scope.
 func DefaultConfig() Config {
 	return Config{
-		UniInstr: 60000,
-		MPInstr:  6000,
-		MPCores:  16,
-		Samples:  2,
-		Seed:     42,
+		UniInstr:   60000,
+		MPInstr:    6000,
+		MPCores:    16,
+		Samples:    2,
+		Seed:       42,
+		LitmusRuns: 300,
 	}
 }
 
 // QuickConfig returns a reduced scope for smoke runs and benchmarks.
 func QuickConfig() Config {
 	return Config{
-		UniInstr: 15000,
-		MPInstr:  2500,
-		MPCores:  4,
-		Samples:  1,
-		Seed:     42,
+		UniInstr:   15000,
+		MPInstr:    2500,
+		MPCores:    4,
+		Samples:    1,
+		LitmusRuns: 40,
+		Seed:       42,
 	}
 }
 
@@ -68,25 +72,14 @@ var MachineNames = []string{
 	"baseline", "replay-all", "no-reorder", "no-recent-miss", "no-recent-snoop",
 }
 
-// machineFor builds the named machine configuration.
+// machineFor builds the named machine configuration via the shared
+// registry, so experiments and the CLIs agree on names.
 func machineFor(name string) config.Machine {
-	switch name {
-	case "baseline":
-		return config.Baseline()
-	case "replay-all":
-		return config.Replay(core.ReplayAll)
-	case "no-reorder":
-		return config.Replay(core.NoReorder)
-	case "no-recent-miss":
-		return config.Replay(core.NoRecentMiss)
-	case "no-recent-snoop":
-		return config.Replay(core.NoRecentSnoop)
-	case "baseline-lq16":
-		return config.ConstrainedBaseline(16)
-	case "baseline-lq32":
-		return config.ConstrainedBaseline(32)
+	m, ok := config.ByName(name)
+	if !ok {
+		panic("experiments: unknown machine " + name)
 	}
-	panic("experiments: unknown machine " + name)
+	return m
 }
 
 // Point is one (machine, workload) measurement, averaged over samples.

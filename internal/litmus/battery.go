@@ -1,0 +1,92 @@
+// The standard battery: the canonical two-, three- and four-thread
+// litmus tests of the weak-memory literature (SB, MP, LB, S, R, 2+2W,
+// WRC, IRIW) plus the coherence tests (CoRR, CoWW) and fully fenced
+// variants of the classic trio. Registered like workloads: All() is
+// the sweep runner's catalog, ByName the CLI's lookup.
+
+package litmus
+
+// Battery builds the full standard battery. Each call returns fresh
+// Test values (they are immutable in practice, but callers may
+// annotate).
+func Battery() []*Test {
+	sb := New("SB", "store buffering: both loads read the initial value", 2).
+		Thread(St(X, 1), Ld(Y)).
+		Thread(St(Y, 1), Ld(X)).
+		WeakWhen(func(o Outcome) bool { return o.Load(0) == 0 && o.Load(1) == 0 })
+
+	mp := New("MP", "message passing: data read stale after flag observed set", 2).
+		Thread(St(X, 1), St(Y, 1)).
+		Thread(Ld(Y), Ld(X)).
+		WeakWhen(func(o Outcome) bool { return o.Load(0) == 1 && o.Load(1) == 0 })
+
+	lb := New("LB", "load buffering: both loads read the other thread's later store", 2).
+		Thread(Ld(X), St(Y, 1)).
+		Thread(Ld(Y), St(X, 1)).
+		WeakWhen(func(o Outcome) bool { return o.Load(0) == 1 && o.Load(1) == 1 })
+
+	s := New("S", "store-to-load: the late store wins coherence yet its thread saw the flag", 2).
+		Thread(St(X, 2), St(Y, 1)).
+		Thread(Ld(Y), St(X, 1)).
+		WeakWhen(func(o Outcome) bool { return o.Load(0) == 1 && o.FinalVal(X) == 2 })
+
+	r := New("R", "write contest: the coherence-winning writer's read still misses the other store", 2).
+		Thread(St(X, 1), St(Y, 1)).
+		Thread(St(Y, 2), Ld(X)).
+		WeakWhen(func(o Outcome) bool { return o.Load(0) == 0 && o.FinalVal(Y) == 2 })
+
+	w22 := New("2+2W", "double write contest: both first writes win coherence", 2).
+		Thread(St(X, 1), St(Y, 2)).
+		Thread(St(Y, 1), St(X, 2)).
+		WeakWhen(func(o Outcome) bool { return o.FinalVal(X) == 1 && o.FinalVal(Y) == 1 })
+
+	wrc := New("WRC", "write-to-read causality: a third thread misses a causally prior store", 2).
+		Thread(St(X, 1)).
+		Thread(Ld(X), St(Y, 1)).
+		Thread(Ld(Y), Ld(X)).
+		WeakWhen(func(o Outcome) bool {
+			return o.Load(0) == 1 && o.Load(1) == 1 && o.Load(2) == 0
+		})
+
+	iriw := New("IRIW", "independent reads of independent writes observed in opposite orders", 2).
+		Thread(St(X, 1)).
+		Thread(St(Y, 1)).
+		Thread(Ld(X), Ld(Y)).
+		Thread(Ld(Y), Ld(X)).
+		WeakWhen(func(o Outcome) bool {
+			return o.Load(0) == 1 && o.Load(1) == 0 &&
+				o.Load(2) == 1 && o.Load(3) == 0
+		})
+
+	corr := New("CoRR", "coherent read-read: same-address loads observe writes out of order", 1).
+		Thread(St(X, 1)).
+		Thread(Ld(X), Ld(X)).
+		WeakWhen(func(o Outcome) bool { return o.Load(0) == 1 && o.Load(1) == 0 })
+
+	// CoWW with an observer thread: the two same-address stores must be
+	// seen in program (= coherence) order, never regressing.
+	coww := New("CoWW", "coherent write-write: an observer sees the same-address stores regress", 1).
+		Thread(St(X, 1), St(X, 2)).
+		Thread(Ld(X), Ld(X)).
+		WeakWhen(func(o Outcome) bool {
+			rank := func(v uint64) int { return int(v) } // 0 < 1 < 2 in write order
+			return rank(o.Load(0)) > rank(o.Load(1)) || o.FinalVal(X) != 2
+		})
+
+	return []*Test{
+		sb, sb.Fenced(),
+		mp, mp.Fenced(),
+		lb, lb.Fenced(),
+		s, r, w22, wrc, iriw, corr, coww,
+	}
+}
+
+// ByName returns the battery member with the given name.
+func ByName(name string) (*Test, bool) {
+	for _, t := range Battery() {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,153 @@
+// The spec→machine compiler: lower a declarative litmus test to one
+// prog.Program with a per-core section pinned to each core of an MP
+// system machine, plus the metadata needed to extract the run's
+// Outcome from the committed-record streams afterwards.
+
+package litmus
+
+import (
+	"fmt"
+
+	"vbmo/internal/isa"
+	"vbmo/internal/prog"
+	"vbmo/internal/system"
+	"vbmo/internal/workload"
+)
+
+// Register conventions of compiled litmus code. Location addresses are
+// preloaded into registers by the per-core initial state; store values
+// are materialized with lui.
+const (
+	rAddr0 = isa.Reg(1)  // address of location 0 (loc i at rAddr0+i)
+	rVal   = isa.Reg(16) // store value scratch
+	rPad   = isa.Reg(20) // skew-prologue filler accumulator
+	rObs0  = isa.Reg(24) // first observation register (load i of a thread)
+)
+
+// Entry is the compiled program's entry PC (thread 0's section).
+const Entry = uint64(0x4000)
+
+// LocAddr maps a litmus location to its word address: each location
+// gets its own cache block at the base of the shared segment, so the
+// tests contend exactly where the MP workloads' hot set lives.
+func LocAddr(loc Loc) uint64 { return workload.SharedBase + uint64(loc)*64 }
+
+// Compiled is the machine form of a litmus test.
+type Compiled struct {
+	Test *Test
+	Prog *prog.Program
+	// Inits holds one per-core initial state; Inits[c].PC selects core
+	// c's section of the program.
+	Inits []prog.ArchState
+	// Addrs is the word address of each location.
+	Addrs []uint64
+	// loadOf maps a load instruction's PC to its flattened observation
+	// slot (each static load commits exactly once — sections are
+	// straight-line and end in a self-loop).
+	loadOf map[uint64]int
+	// MinCommits is the per-core commit target that guarantees every
+	// test operation has committed (the spin epilogue covers the rest).
+	MinCommits uint64
+}
+
+// Compile lowers the test. skew, when non-nil, gives each thread a
+// straight-line filler prologue of that many instructions — the sweep
+// runner's timing perturbation that staggers the threads' entry into
+// the test body. Threads beyond len(skew) get no prologue.
+func Compile(t *Test, skew []int) *Compiled {
+	b := prog.NewBuilder(Entry)
+	c := &Compiled{
+		Test:   t,
+		Addrs:  make([]uint64, t.Locs),
+		loadOf: make(map[uint64]int),
+	}
+	for loc := range c.Addrs {
+		c.Addrs[loc] = LocAddr(Loc(loc))
+	}
+	base := t.loadBase()
+	longest := 0
+	for th, ops := range t.Threads {
+		start := b.Pos()
+		pad := 0
+		if th < len(skew) {
+			pad = skew[th]
+		}
+		for i := 0; i < pad; i++ {
+			b.Emit(isa.Inst{Op: isa.OpAddI, Dst: rPad, Src1: rPad, Imm: 1})
+		}
+		slot := 0
+		for _, op := range ops {
+			switch op.Kind {
+			case OpStore:
+				b.Emit(isa.Inst{Op: isa.OpLui, Dst: rVal, Imm: int64(op.Val)})
+				b.Emit(isa.Inst{Op: isa.OpStore, Src1: rAddr0 + isa.Reg(op.Loc), Src2: rVal})
+			case OpLoad:
+				pc := Entry + uint64(b.Pos())*prog.InstBytes
+				c.loadOf[pc] = base[th] + slot
+				b.Emit(isa.Inst{Op: isa.OpLoad, Dst: rObs0 + isa.Reg(slot), Src1: rAddr0 + isa.Reg(op.Loc)})
+				slot++
+			case OpFence:
+				b.Emit(isa.Inst{Op: isa.OpMembar})
+			}
+		}
+		// Spin epilogue: the core keeps committing jumps so the system's
+		// commit-target termination works for every thread length.
+		spin := b.Here()
+		b.Branch(isa.OpJump, 0, spin)
+
+		var st prog.ArchState
+		st.PC = Entry + uint64(start)*prog.InstBytes
+		for loc := 0; loc < t.Locs; loc++ {
+			st.WriteReg(rAddr0+isa.Reg(loc), c.Addrs[loc])
+		}
+		c.Inits = append(c.Inits, st)
+		if n := b.Pos() - start; n > longest {
+			longest = n
+		}
+	}
+	c.Prog = b.Build()
+	c.MinCommits = uint64(longest) + 4
+	return c
+}
+
+// InitImage writes the test's declared initial values into the shared
+// memory image (before the run starts, so the shadow image still
+// attributes first reads to the initial value).
+func (c *Compiled) InitImage(s *system.System) {
+	for loc, addr := range c.Addrs {
+		s.Image.Write(addr, c.Test.InitVal(Loc(loc)))
+	}
+}
+
+// Extract reads the run's Outcome from the system: observed load
+// values from the committed-record streams (keyed by load PC, so only
+// committed architectural loads count — squashed premature attempts
+// are invisible, exactly as they should be) and final memory values
+// from the image. ok is false when some test load never committed
+// (the run hit its cycle bound early).
+func (c *Compiled) Extract(s *system.System) (Outcome, bool) {
+	o := Outcome{
+		Loads: make([]uint64, c.Test.NumLoads()),
+		Final: make([]uint64, c.Test.Locs),
+	}
+	seen := 0
+	for _, stream := range s.Commits {
+		for _, rec := range stream {
+			if slot, ok := c.loadOf[rec.PC]; ok {
+				o.Loads[slot] = rec.Result
+				seen++
+			}
+		}
+	}
+	for loc, addr := range c.Addrs {
+		o.Final[loc] = s.Image.Read(addr)
+	}
+	return o, seen == len(o.Loads)
+}
+
+// String renders the compiled program's disassembly with section
+// markers (debugging aid).
+func (c *Compiled) String() string {
+	s := fmt.Sprintf("litmus %s: %d threads, %d locs\n", c.Test.Name, len(c.Inits), c.Test.Locs)
+	return s + c.Prog.String()
+}

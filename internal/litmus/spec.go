@@ -1,0 +1,208 @@
+// Package litmus implements a declarative memory-ordering litmus-test
+// subsystem: small named tests (SB, MP, IRIW, ...) expressed over a
+// tiny builder API, a compiler from test to multiprocessor machine
+// programs, an SC oracle that enumerates every sequentially consistent
+// interleaving to derive the allowed-outcome set, and a parallel sweep
+// runner that executes each test across machine configurations, seeds
+// and timing perturbations.
+//
+// Litmus tests turn the repo's soundness argument from "no constraint-
+// graph cycle was found on big synthetic runs" (DESIGN.md §8) into
+// "every canonical consistency test passes on every sound config and
+// the deliberately mis-composed NUS-alone filter (paper §3.3) is
+// caught": the instrument pins down exactly which reorderings a memory
+// system admits, the way QED checks bounded executions for hardware
+// MCM compliance.
+package litmus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Loc names a shared memory location of a test (0-based). The compiler
+// maps each location to its own cache block in the shared segment, so
+// two locations never exhibit false sharing unless a test asks for it.
+type Loc int
+
+// Conventional location names for two- and three-location tests.
+const (
+	X Loc = iota
+	Y
+	Z
+)
+
+// OpKind distinguishes the three litmus operations.
+type OpKind int
+
+const (
+	// OpStore writes Val to Loc.
+	OpStore OpKind = iota
+	// OpLoad reads Loc into the next observation slot of its thread.
+	OpLoad
+	// OpFence is a full memory barrier (the ISA's membar).
+	OpFence
+)
+
+// Op is one operation of one litmus thread.
+type Op struct {
+	Kind OpKind
+	Loc  Loc
+	Val  uint64 // store value (OpStore only)
+}
+
+// St builds a store of val to loc.
+func St(loc Loc, val uint64) Op { return Op{Kind: OpStore, Loc: loc, Val: val} }
+
+// Ld builds a load of loc.
+func Ld(loc Loc) Op { return Op{Kind: OpLoad, Loc: loc} }
+
+// Fence builds a full memory barrier.
+func Fence() Op { return Op{Kind: OpFence} }
+
+// Test is one declarative litmus test: named per-thread operation
+// sequences over a small set of shared locations, an initial shared-
+// memory state, and an optional predicate naming the canonical weak
+// (non-SC) outcome the test is designed to detect. Outcome
+// classification does not depend on Weak — the SC oracle derives the
+// full allowed set — but verdict reports use it to say which weak
+// behaviour was (or was not) observed.
+type Test struct {
+	// Name is the test's conventional name ("SB", "MP", "IRIW", ...).
+	Name string
+	// Doc is a one-line description of what the test detects.
+	Doc string
+	// Locs is the number of shared locations (X, Y, ... up to Locs-1).
+	Locs int
+	// Init is the initial value of each location (nil = all zeros).
+	Init []uint64
+	// Threads holds each thread's program-ordered operations.
+	Threads [][]Op
+	// Weak, when non-nil, recognizes the canonical forbidden outcome.
+	Weak func(Outcome) bool
+}
+
+// New creates an empty test over locs shared locations.
+func New(name, doc string, locs int) *Test {
+	return &Test{Name: name, Doc: doc, Locs: locs}
+}
+
+// Thread appends one thread with the given operations and returns the
+// test for chaining.
+func (t *Test) Thread(ops ...Op) *Test {
+	t.Threads = append(t.Threads, ops)
+	return t
+}
+
+// WeakWhen sets the canonical-weak-outcome predicate and returns the
+// test for chaining.
+func (t *Test) WeakWhen(p func(Outcome) bool) *Test {
+	t.Weak = p
+	return t
+}
+
+// InitVal returns loc's initial value.
+func (t *Test) InitVal(loc Loc) uint64 {
+	if int(loc) < len(t.Init) {
+		return t.Init[int(loc)]
+	}
+	return 0
+}
+
+// NumLoads returns the number of load operations across all threads —
+// the length of every Outcome.Loads for this test.
+func (t *Test) NumLoads() int {
+	n := 0
+	for _, th := range t.Threads {
+		for _, op := range th {
+			if op.Kind == OpLoad {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// loadBase returns, per thread, the flattened observation-slot index of
+// its first load (thread-major, program order within a thread).
+func (t *Test) loadBase() []int {
+	base := make([]int, len(t.Threads))
+	n := 0
+	for i, th := range t.Threads {
+		base[i] = n
+		for _, op := range th {
+			if op.Kind == OpLoad {
+				n++
+			}
+		}
+	}
+	return base
+}
+
+// Fenced derives the fully fenced variant of the test: a Fence after
+// every operation but the last of each thread. The load layout (and so
+// the Weak predicate, which is inherited) is unchanged.
+func (t *Test) Fenced() *Test {
+	out := &Test{
+		Name: t.Name + "+fences",
+		Doc:  t.Doc + " (membar between every pair of accesses)",
+		Locs: t.Locs,
+		Init: t.Init,
+		Weak: t.Weak,
+	}
+	for _, th := range t.Threads {
+		var ops []Op
+		for i, op := range th {
+			ops = append(ops, op)
+			if i < len(th)-1 {
+				ops = append(ops, Fence())
+			}
+		}
+		out.Threads = append(out.Threads, ops)
+	}
+	return out
+}
+
+// Outcome is one execution's observable result: every load's value
+// (thread-major, program order within a thread) and the final value of
+// every location.
+type Outcome struct {
+	Loads []uint64
+	Final []uint64
+}
+
+// Load returns the value observed by flattened load slot i.
+func (o Outcome) Load(i int) uint64 { return o.Loads[i] }
+
+// FinalVal returns the final value of loc.
+func (o Outcome) FinalVal(loc Loc) uint64 { return o.Final[int(loc)] }
+
+// Key renders the outcome as a canonical histogram key, e.g.
+// "r=1,0 m=1,1" (observed load values, then final memory values).
+func (o Outcome) Key() string {
+	var b strings.Builder
+	b.WriteString("r=")
+	b.WriteString(joinVals(o.Loads))
+	b.WriteString(" m=")
+	b.WriteString(joinVals(o.Final))
+	return b.String()
+}
+
+func joinVals(vs []uint64) string {
+	if len(vs) == 0 {
+		return "-"
+	}
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = fmt.Sprintf("%d", v)
+	}
+	return strings.Join(parts, ",")
+}
+
+// clone copies the outcome (the enumerator mutates its scratch).
+func (o Outcome) clone() Outcome {
+	return Outcome{
+		Loads: append([]uint64(nil), o.Loads...),
+		Final: append([]uint64(nil), o.Final...),
+	}
+}

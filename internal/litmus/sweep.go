@@ -1,0 +1,433 @@
+// The sweep runner: execute every battery test across machine
+// configurations × seeds × timing perturbations in a bounded worker
+// pool, collecting outcome histograms and soundness verdicts. The five
+// sound configurations (baseline snooping LQ, replay-all, no-reorder,
+// NRM+NUS, NRS+NUS) must observe only SC-allowed outcomes; the
+// deliberately mis-composed NUS-alone filter (paper §3.3 — it assumes
+// loads to the same address issue in order, which only the uniprocessor
+// guarantees) must be caught by at least one test.
+
+package litmus
+
+import (
+	"sort"
+	"sync"
+
+	"vbmo/internal/cache"
+	"vbmo/internal/config"
+	"vbmo/internal/consistency"
+	"vbmo/internal/core"
+	"vbmo/internal/system"
+	"vbmo/internal/trace"
+)
+
+// Config is one sweep column: a named machine configuration plus the
+// soundness expectation litmus holds it to.
+type Config struct {
+	// Name is the sweep's short column name ("nrm+nus", "nus-only", ...).
+	Name string
+	// Machine is the tuned machine configuration.
+	Machine config.Machine
+	// Sound is true when the configuration must admit only SC-allowed
+	// outcomes. The one unsound member (NUS alone) is expected to be
+	// caught instead.
+	Sound bool
+}
+
+// Configs returns the standard sweep columns. Machines are tuned for
+// litmus scale: the battery touches a handful of cache blocks, so the
+// Table 3 hierarchy (8 MB of L3 per core) would spend the entire sweep
+// allocating arrays. Shrinking the caches changes capacity, not
+// coherence or ordering behaviour, which is all litmus observes.
+func Configs() []Config {
+	return []Config{
+		{Name: "baseline", Machine: tune(config.Baseline()), Sound: true},
+		{Name: "replay-all", Machine: tune(config.Replay(core.ReplayAll)), Sound: true},
+		{Name: "no-reorder", Machine: tune(config.Replay(core.NoReorder)), Sound: true},
+		{Name: "nrm+nus", Machine: tune(config.Replay(core.NoRecentMiss)), Sound: true},
+		{Name: "nrs+nus", Machine: tune(config.Replay(core.NoRecentSnoop)), Sound: true},
+		{Name: "nus-only", Machine: tune(config.Replay(core.NUSOnly)), Sound: false},
+	}
+}
+
+// ConfigByName returns the sweep column with the given name.
+func ConfigByName(name string) (Config, bool) {
+	for _, c := range Configs() {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Config{}, false
+}
+
+// tune shrinks a machine's memory system to litmus scale.
+func tune(m config.Machine) config.Machine {
+	m.Hier.L1I = cache.Config{Size: 4 << 10, Ways: 1, Latency: 1}
+	m.Hier.L1D = cache.Config{Size: 4 << 10, Ways: 1, Latency: 1}
+	m.Hier.L2 = cache.Config{Size: 16 << 10, Ways: 4, Latency: 3}
+	m.Hier.L3 = cache.Config{Size: 64 << 10, Ways: 8, Latency: 8}
+	m.Hier.PrefetchEntries = 32
+	m.Hier.TLBEntries = 32
+	m.Hier.TLBWays = 4
+	m.Hier.TLBWalkLatency = 10
+	m.BP.BimodalEntries = 512
+	m.BP.GshareEntries = 512
+	m.BP.SelectorEntries = 512
+	m.BP.BTBEntries = 256
+	m.BP.BTBWays = 4
+	m.MemLatency = 120
+	return m
+}
+
+// Perturb is one run's timing perturbation, derived from the seed: a
+// per-thread skew prologue (staggers entry into the test body), a
+// per-core cache-prewarm bit (warmed cores hit locally and issue loads
+// earlier; cold cores miss to memory), an invalidation-probe period
+// (coherence contention injection via Bus.Probe), and a DMA period
+// (background snoop noise).
+type Perturb struct {
+	Skew        []int
+	Warm        []bool
+	ProbeEvery  int64
+	DMAInterval int64
+}
+
+// rng is a splitmix64 stream, the same generator the workloads use;
+// litmus keeps its own copy so perturbation derivation is independent
+// of the machine's seeded internals.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// perturbFor derives the perturbation for one run. Seed 0 is the
+// canonical unperturbed run: no skew, all cores cold, no noise.
+func perturbFor(r *rng, threads int) Perturb {
+	p := Perturb{Skew: make([]int, threads), Warm: make([]bool, threads)}
+	for i := range p.Skew {
+		p.Skew[i] = r.intn(24)
+		p.Warm[i] = r.next()&1 == 0
+	}
+	if r.next()&1 == 0 {
+		p.ProbeEvery = int64(29 + r.intn(200))
+	}
+	if r.next()&3 == 0 {
+		p.DMAInterval = int64(200 + r.intn(400))
+	}
+	return p
+}
+
+// maxCycles bounds a single litmus run. The longest battery member
+// commits ~15 instructions per core; even fully fenced, cold and
+// contended that takes well under a thousand cycles, so hitting this
+// bound means livelock, which the verdict reports as Incomplete runs.
+const maxCycles = 60000
+
+// RunResult is one classified litmus execution.
+type RunResult struct {
+	Outcome Outcome
+	Key     string
+	// OK is false when some test load never committed (cycle bound hit).
+	OK bool
+	// Allowed is true when the outcome is in the SC oracle's set.
+	Allowed bool
+	// Weak is true when the test's canonical weak predicate matched.
+	Weak bool
+	// Cycle is true when the constraint graph built from the run's
+	// committed streams contains a cycle (the checker's independent
+	// verdict on the same execution).
+	Cycle bool
+}
+
+// RunOne executes one litmus test once on one machine with the
+// perturbation derived from seed, classifies the outcome against the
+// oracle, and cross-checks the run with the constraint-graph checker.
+func RunOne(mc config.Machine, t *Test, as *AllowedSet, seed uint64, tr *trace.Tracer) RunResult {
+	r := &rng{s: seed * 0x2545f4914f6cdd1d}
+	var p Perturb
+	if seed == 0 {
+		p = Perturb{Skew: make([]int, len(t.Threads)), Warm: make([]bool, len(t.Threads))}
+	} else {
+		p = perturbFor(r, len(t.Threads))
+	}
+	comp := Compile(t, p.Skew)
+
+	opt := system.Options{
+		Cores:            len(t.Threads),
+		Seed:             seed,
+		TrackConsistency: true,
+		MaxCycles:        maxCycles,
+		DMAInterval:      p.DMAInterval,
+		DMABurst:         2,
+		Trace:            tr,
+	}
+	// The probe hook needs the system, which needs the options: close
+	// over a slot filled in after NewCustom.
+	var sys *system.System
+	if p.ProbeEvery > 0 {
+		k := 0
+		opt.OnCycle = func(cycle int64) {
+			if cycle%p.ProbeEvery == 0 && sys != nil {
+				sys.Bus.Probe(comp.Addrs[k%len(comp.Addrs)])
+				k++
+			}
+		}
+	}
+	s := system.NewCustom(mc, comp.Prog, comp.Inits, opt)
+	sys = s
+	comp.InitImage(s)
+	for c := range comp.Inits {
+		if c < len(p.Warm) && p.Warm[c] {
+			for _, addr := range comp.Addrs {
+				s.Prewarm(c, addr)
+			}
+		}
+	}
+	s.Run(comp.MinCommits, opt)
+
+	out, ok := comp.Extract(s)
+	res := RunResult{
+		Outcome: out,
+		Key:     out.Key(),
+		OK:      ok,
+		Allowed: as.Contains(out),
+		Weak:    t.Weak != nil && t.Weak(out),
+	}
+	if ok {
+		// Rebuild the constraint graph with the litmus background (the
+		// test pre-initializes its locations, so the image's hashed
+		// background is wrong exactly there).
+		procs, chains := s.Ops()
+		bg := as.background()
+		img := s.Image
+		g := consistency.Build(procs, chains, func(addr uint64) uint64 {
+			for _, a := range comp.Addrs {
+				if addr&^7 == a {
+					return bg(addr)
+				}
+			}
+			return img.Background(addr)
+		})
+		_, res.Cycle = g.FindCycle()
+	}
+	if tr != nil {
+		for i, v := range out.Loads {
+			tr.Emit(trace.Event{
+				Cycle: s.CycleNum, Core: -1, Kind: trace.KLitmusOutcome,
+				Tag: int64(i), Value: v, Aux: seed,
+			})
+		}
+		forb := uint64(0)
+		if ok && !res.Allowed {
+			forb = 1
+		}
+		tr.Emit(trace.Event{
+			Cycle: s.CycleNum, Core: -1, Kind: trace.KLitmusOutcome,
+			Tag: -1, Value: forb, Aux: seed,
+		})
+	}
+	return res
+}
+
+// Verdict aggregates one (test, config) cell of the sweep.
+type Verdict struct {
+	Test   string `json:"test"`
+	Config string `json:"config"`
+	Sound  bool   `json:"sound"`
+	Runs   int    `json:"runs"`
+	// Histogram counts committed outcomes by canonical key.
+	Histogram map[string]int `json:"histogram"`
+	// Forbidden counts runs whose outcome the SC oracle rejects.
+	Forbidden int `json:"forbidden"`
+	// WeakHits counts runs matching the test's canonical weak predicate
+	// (a subset of Forbidden for well-formed tests).
+	WeakHits int `json:"weak_hits"`
+	// Cycles counts runs whose constraint graph was cyclic.
+	Cycles int `json:"cycles"`
+	// Incomplete counts runs that hit the cycle bound before every test
+	// load committed (excluded from the histogram and classification).
+	Incomplete int `json:"incomplete"`
+}
+
+// Pass reports the cell's verdict: a sound configuration passes when
+// no completed run produced a forbidden outcome or a graph cycle; the
+// unsound configuration's cell always "passes" individually — whether
+// it was caught is a battery-level question (see Caught).
+func (v Verdict) Pass() bool {
+	if !v.Sound {
+		return true
+	}
+	return v.Forbidden == 0 && v.Cycles == 0 && v.Incomplete == 0
+}
+
+// Caught reports whether this cell caught an unsound configuration:
+// some run produced an SC-forbidden outcome or a constraint-graph
+// cycle.
+func (v Verdict) Caught() bool { return v.Forbidden > 0 || v.Cycles > 0 }
+
+// Keys returns the histogram keys, most frequent first (ties by key).
+func (v Verdict) Keys() []string {
+	keys := make([]string, 0, len(v.Histogram))
+	for k := range v.Histogram {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if v.Histogram[keys[i]] != v.Histogram[keys[j]] {
+			return v.Histogram[keys[i]] > v.Histogram[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	return keys
+}
+
+// SweepOptions configures a sweep.
+type SweepOptions struct {
+	// Tests is the battery subset to run (nil = full Battery).
+	Tests []*Test
+	// Configs is the machine set (nil = standard Configs).
+	Configs []Config
+	// Runs is the perturbed executions per (test, config) cell.
+	Runs int
+	// Workers bounds the worker pool (<=0 = 4).
+	Workers int
+	// Seed offsets every run's perturbation stream.
+	Seed uint64
+	// Progress, when non-nil, is called after each finished cell.
+	Progress func(done, total int, v Verdict)
+}
+
+// Sweep runs the battery across the machine set in a bounded worker
+// pool — one job per (test, config) cell, each cell running Runs
+// perturbed executions — and returns the verdict matrix in battery
+// order (tests outer, configs inner).
+func Sweep(o SweepOptions) []Verdict {
+	tests := o.Tests
+	if tests == nil {
+		tests = Battery()
+	}
+	cfgs := o.Configs
+	if cfgs == nil {
+		cfgs = Configs()
+	}
+	runs := o.Runs
+	if runs <= 0 {
+		runs = 100
+	}
+	workers := o.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+
+	// The oracle is per-test, shared across the test's row.
+	allowed := make([]*AllowedSet, len(tests))
+	for i, t := range tests {
+		allowed[i] = Allowed(t)
+	}
+
+	type job struct{ ti, ci int }
+	jobs := make(chan job)
+	verdicts := make([]Verdict, len(tests)*len(cfgs))
+	var done int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				t, cfg := tests[j.ti], cfgs[j.ci]
+				v := Verdict{
+					Test: t.Name, Config: cfg.Name, Sound: cfg.Sound,
+					Runs: runs, Histogram: make(map[string]int),
+				}
+				// Decorrelate the perturbation streams across cells while
+				// keeping run i of a cell reproducible in isolation.
+				base := o.Seed ^ (uint64(j.ti)<<40 | uint64(j.ci)<<32)
+				for i := 0; i < runs; i++ {
+					res := RunOne(cfg.Machine, t, allowed[j.ti], base+uint64(i), nil)
+					if !res.OK {
+						v.Incomplete++
+						continue
+					}
+					v.Histogram[res.Key]++
+					if !res.Allowed {
+						v.Forbidden++
+					}
+					if res.Weak {
+						v.WeakHits++
+					}
+					if res.Cycle {
+						v.Cycles++
+					}
+				}
+				verdicts[j.ti*len(cfgs)+j.ci] = v
+				mu.Lock()
+				done++
+				if o.Progress != nil {
+					o.Progress(done, len(verdicts), v)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for ti := range tests {
+		for ci := range cfgs {
+			jobs <- job{ti, ci}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return verdicts
+}
+
+// Summary condenses a verdict matrix into the battery-level result.
+type Summary struct {
+	// SoundOK is true when every sound cell passed.
+	SoundOK bool `json:"sound_ok"`
+	// UnsoundCaught is true when at least one cell caught each unsound
+	// configuration present in the sweep (vacuously true without one).
+	UnsoundCaught bool `json:"unsound_caught"`
+	// FailedCells lists sound cells that failed, "test/config".
+	FailedCells []string `json:"failed_cells,omitempty"`
+	// CaughtBy lists unsound-config cells that observed a violation.
+	CaughtBy []string `json:"caught_by,omitempty"`
+}
+
+// Summarize computes the battery-level verdict: all sound cells clean,
+// and every unsound config caught by at least one test.
+func Summarize(vs []Verdict) Summary {
+	sum := Summary{SoundOK: true}
+	unsound := make(map[string]bool) // config name -> caught
+	for _, v := range vs {
+		if v.Sound {
+			if !v.Pass() {
+				sum.SoundOK = false
+				sum.FailedCells = append(sum.FailedCells, v.Test+"/"+v.Config)
+			}
+			continue
+		}
+		if _, ok := unsound[v.Config]; !ok {
+			unsound[v.Config] = false
+		}
+		if v.Caught() {
+			unsound[v.Config] = true
+			sum.CaughtBy = append(sum.CaughtBy, v.Test+"/"+v.Config)
+		}
+	}
+	sum.UnsoundCaught = true
+	for _, caught := range unsound {
+		if !caught {
+			sum.UnsoundCaught = false
+		}
+	}
+	sort.Strings(sum.FailedCells)
+	sort.Strings(sum.CaughtBy)
+	return sum
+}

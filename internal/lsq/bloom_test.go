@@ -116,13 +116,13 @@ func TestLQBloomInvalidationFilter(t *testing.T) {
 	q.Insert(2, 0x104)
 	q.OnIssue(1, 0x1000, -1)
 	q.OnIssue(2, 0x2000, -1)
-	if _, found := q.OnInvalidation(0x7000); found {
+	if _, found := q.OnInvalidation(0x7000, 1); found {
 		t.Error("unrelated invalidation squashed")
 	}
 	if q.BloomFiltered == 0 {
 		t.Error("invalidation search not filtered")
 	}
-	if _, found := q.OnInvalidation(0x2000); !found {
+	if _, found := q.OnInvalidation(0x2000, 1); !found {
 		t.Error("real snoop conflict missed with bloom enabled")
 	}
 }

@@ -204,12 +204,21 @@ func (q *AssocLoadQueue) OnStoreAgen(addr uint64, storeTag int64) (Squash, bool)
 }
 
 // OnInvalidation processes an external invalidation (or an L3 castout,
-// which must be treated identically to preserve snoop visibility). In
-// the snooping design, issued loads to the block — except the queue
-// head, which is inherently correct and must not squash for forward
-// progress — are violations; the oldest is returned. In the hybrid
-// design the conflicting loads are marked instead.
-func (q *AssocLoadQueue) OnInvalidation(block uint64) (Squash, bool) {
+// which must be treated identically to preserve snoop visibility).
+// commitTag is the ROB's next-to-commit instruction. That load is never
+// squashed: every older instruction has committed, so architectural
+// state is consistent with the load having already performed (paper
+// §2.1 — note this is the next instruction to commit, not merely the
+// oldest queue entry; an uncommitted older store voids the argument,
+// which the SB litmus test observes as the forbidden r=0,0 outcome).
+// Every other issued match is a violation — including loads whose fill
+// is still outstanding: the invalidation strips the block from the
+// local cache, so a later remote write would deliver no snoop here,
+// and a merely refreshed value would commit with nothing guaranteeing
+// its coherence (the MP litmus test observes exactly that hole as
+// r=1,0 under probe contention). The oldest violation is returned
+// (hybrid queues mark instead of squashing).
+func (q *AssocLoadQueue) OnInvalidation(block uint64, commitTag int64) (Squash, bool) {
 	if q.mode == Insulated {
 		return Squash{}, false
 	}
@@ -223,9 +232,7 @@ func (q *AssocLoadQueue) OnInvalidation(block uint64) (Squash, bool) {
 		if !le.Issued || cache.BlockAddr(le.Addr) != cache.BlockAddr(block) {
 			continue
 		}
-		if i == 0 {
-			// Head loads are never squashed by snoops (forward
-			// progress; paper §2.1).
+		if le.Tag == commitTag {
 			continue
 		}
 		if q.mode == Hybrid {

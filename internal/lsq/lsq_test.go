@@ -192,7 +192,7 @@ func TestSnoopingInvalidation(t *testing.T) {
 	q.Insert(2, 0x104)
 	q.OnIssue(1, 0x1000, -1)
 	q.OnIssue(2, 0x1040, -1)
-	sq, found := q.OnInvalidation(0x1040)
+	sq, found := q.OnInvalidation(0x1040, 1)
 	if !found || sq.Tag != 2 {
 		t.Fatalf("snoop should squash load 2: %+v %v", sq, found)
 	}
@@ -201,12 +201,39 @@ func TestSnoopingInvalidation(t *testing.T) {
 	}
 }
 
-func TestSnoopHeadLoadNotSquashed(t *testing.T) {
+func TestSnoopCommitPointExemption(t *testing.T) {
+	// The load at the commit point is never squashed (forward progress;
+	// paper §2.1)...
 	q := NewAssocLoadQueue(Snooping, 8)
 	q.Insert(1, 0x100)
 	q.OnIssue(1, 0x1000, -1)
-	if _, found := q.OnInvalidation(0x1000); found {
-		t.Error("queue head must never squash on snoops (forward progress)")
+	if _, found := q.OnInvalidation(0x1000, 1); found {
+		t.Error("commit-point load must never squash on snoops")
+	}
+	// ...but merely being the oldest load is not enough: with an
+	// uncommitted older store at the ROB head the exemption does not
+	// apply (this distinction is what keeps SB sequentially consistent
+	// on the baseline).
+	if sq, found := q.OnInvalidation(0x1000, 0); !found || sq.Tag != 1 {
+		t.Error("oldest load with an uncommitted older store must squash")
+	}
+}
+
+func TestSnoopInFlightLoadSquashes(t *testing.T) {
+	// An issued load whose fill is still outstanding squashes like a
+	// completed one: the invalidation strips the block from the local
+	// cache, so a later remote write would deliver no snoop here —
+	// merely refreshing the value would leave it with no coherence
+	// guarantee at commit (the MP litmus test observes that hole as
+	// r=1,0 under probe contention).
+	q := NewAssocLoadQueue(Snooping, 8)
+	q.Insert(1, 0x100)
+	q.Insert(2, 0x104)
+	q.OnIssue(1, 0x1000, -1)
+	q.OnIssue(2, 0x1000, -1)
+	sq, found := q.OnInvalidation(0x1000, 0)
+	if !found || sq.Tag != 1 {
+		t.Fatalf("oldest in-flight load must squash: %+v %v", sq, found)
 	}
 }
 
@@ -228,7 +255,7 @@ func TestInsulatedLoadIssueSearch(t *testing.T) {
 		t.Errorf("IssueSquashes = %d", q.IssueSquashes)
 	}
 	// Invalidations are ignored by insulated queues.
-	if _, found := q.OnInvalidation(0x1000); found {
+	if _, found := q.OnInvalidation(0x1000, -1); found {
 		t.Error("insulated queue must not process invalidations")
 	}
 }
@@ -251,7 +278,7 @@ func TestHybridMarkThenSquash(t *testing.T) {
 	q.Insert(2, 0x104)
 	q.Insert(3, 0x108)
 	q.OnIssue(2, 0x1040, -1)
-	if _, found := q.OnInvalidation(0x1040); found {
+	if _, found := q.OnInvalidation(0x1040, 1); found {
 		t.Fatal("hybrid snoop must mark, not squash")
 	}
 	// Older load 1 issues to the same address: marked load 2 squashes.
@@ -278,7 +305,7 @@ func TestSearchAccounting(t *testing.T) {
 		t.Errorf("snooping issue should not search; Searches=%d", q.Searches)
 	}
 	q.OnStoreAgen(0x99, 0)
-	q.OnInvalidation(0x1000)
+	q.OnInvalidation(0x1000, -1)
 	if q.Searches != 2 {
 		t.Errorf("Searches = %d, want 2", q.Searches)
 	}
@@ -304,10 +331,10 @@ func TestLoadQueueRemoveSquash(t *testing.T) {
 	if q.Len() != 1 {
 		t.Errorf("Len = %d, want 1", q.Len())
 	}
-	// Remaining load is tag 2 and now the head: snoops skip it.
+	// Remaining load is tag 2 and now at the commit point: snoops skip it.
 	q.OnIssue(2, 0x1000, -1)
-	if _, found := q.OnInvalidation(0x1000); found {
-		t.Error("head skip after remove/squash failed")
+	if _, found := q.OnInvalidation(0x1000, 2); found {
+		t.Error("commit-point skip after remove/squash failed")
 	}
 }
 

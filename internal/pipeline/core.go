@@ -92,6 +92,13 @@ type Core struct {
 // New builds a core running program p against the shared image, with
 // the given cache hierarchy (already attached to its backend/bus).
 func New(id int, cfg config.Machine, p *prog.Program, mem *prog.Image, hier *cache.Hierarchy, init prog.ArchState) *Core {
+	// A nonzero init.PC selects a per-core entry point within the shared
+	// program — litmus tests give every core its own section; SPMD
+	// workloads leave PC zero and start at the program entry.
+	entry := init.PC
+	if entry == 0 {
+		entry = p.Entry
+	}
 	c := &Core{
 		ID:              id,
 		cfg:             cfg,
@@ -101,11 +108,11 @@ func New(id int, cfg config.Machine, p *prog.Program, mem *prog.Image, hier *cac
 		bp:              bpred.New(cfg.BP),
 		sq:              lsq.NewStoreQueue(cfg.SQSize),
 		arch:            init,
-		fetchPC:         p.Entry,
+		fetchPC:         entry,
 		dispatchBarrier: -1,
 		lastReplayCycle: -1,
 	}
-	c.arch.PC = p.Entry
+	c.arch.PC = entry
 	if cfg.Scheme == config.ValueReplay {
 		c.eng = core.NewEngine(cfg.Filter, cfg.LQSize)
 	} else {
@@ -1157,7 +1164,12 @@ func (c *Core) HandleExternalInvalidation(block uint64) {
 			Kind: trace.KSnoopInval, Addr: block})
 	}
 	if c.alq != nil {
-		if sqz, found := c.alq.OnInvalidation(block); found {
+		commitTag := int64(-1)
+		if len(c.rob) > 0 {
+			commitTag = c.rob[0].tag
+		}
+		sqz, found := c.alq.OnInvalidation(block, commitTag)
+		if found {
 			c.Stats.SquashesInval++
 			if c.trace != nil {
 				c.trace.Emit(trace.Event{Cycle: c.cycle, Core: int32(c.ID),

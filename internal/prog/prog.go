@@ -192,10 +192,13 @@ type Executor struct {
 }
 
 // NewExecutor creates a reference executor starting at the program
-// entry.
+// entry, or at init.PC when it is nonzero (per-core entry points, as
+// the timing pipeline honors them).
 func NewExecutor(p *Program, mem *Image, init ArchState) *Executor {
 	ex := &Executor{Prog: p, State: init, Mem: mem}
-	ex.State.PC = p.Entry
+	if ex.State.PC == 0 {
+		ex.State.PC = p.Entry
+	}
 	return ex
 }
 

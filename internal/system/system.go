@@ -50,6 +50,10 @@ type Options struct {
 	// snapshots (counter deltas + ROB/LQ/SQ occupancy histograms) every
 	// SnapshotInterval cycles into System.Metrics.
 	SnapshotInterval int64
+	// OnCycle, when non-nil, is invoked once per cycle before the cores
+	// step — the perturbation hook litmus sweeps use to inject coherence
+	// contention (Bus.Probe) or other timing noise mid-run.
+	OnCycle func(cycle int64)
 }
 
 // System is a built machine: cores in lock-step over a shared image.
@@ -74,6 +78,8 @@ type System struct {
 	Metrics *trace.MetricsLog
 	// snapInterval is the snapshot period in cycles (0 = disabled).
 	snapInterval int64
+	// onCycle is the per-cycle perturbation hook (nil = disabled).
+	onCycle func(cycle int64)
 }
 
 // New builds a system running the given workload on the given machine
@@ -112,6 +118,7 @@ func NewCustom(cfg config.Machine, program *prog.Program, inits []prog.ArchState
 		Commits:      make([][]prog.Committed, opt.Cores),
 		Trace:        opt.Trace,
 		snapInterval: opt.SnapshotInterval,
+		onCycle:      opt.OnCycle,
 	}
 	bus.Trace = opt.Trace
 	bus.Now = func() int64 { return s.CycleNum }
@@ -206,6 +213,24 @@ func (s *System) CheckCoherence() (consistency.Op, bool, *consistency.Graph) {
 	return op, cyc, g
 }
 
+// Ops exposes the recorded committed memory operations and per-word
+// version chains in the constraint checker's input form, so callers
+// (the litmus subsystem) can build graphs with their own background
+// content — litmus tests pre-initialize shared memory, so the initial
+// value of a tested word is the test's, not the image hash's. Requires
+// TrackConsistency.
+func (s *System) Ops() ([][]consistency.Op, map[uint64][]consistency.Versioned) {
+	return s.buildOps()
+}
+
+// Prewarm establishes a read copy of addr's block in core's hierarchy
+// through the normal fill path (the bus directory registers the sharer,
+// so later invalidations are still delivered). Litmus sweeps use it to
+// start runs from a warmed-cache state.
+func (s *System) Prewarm(core int, addr uint64) {
+	s.Cores[core].Hierarchy().Prewarm(addr)
+}
+
 func (s *System) buildOps() ([][]consistency.Op, map[uint64][]consistency.Versioned) {
 	if s.Shadow == nil {
 		panic("system: consistency checks require Options.TrackConsistency")
@@ -281,6 +306,9 @@ func (s *System) Run(target uint64, opt Options) Result {
 		}
 		if done || s.CycleNum >= maxCycles {
 			break
+		}
+		if s.onCycle != nil {
+			s.onCycle(s.CycleNum)
 		}
 		if s.DMA != nil {
 			s.DMA.Tick(s.CycleNum)

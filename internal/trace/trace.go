@@ -71,6 +71,12 @@ const (
 	// KDMAWrite is a coherent DMA agent write invalidating cached copies
 	// (the paper's memory-mapped I/O traffic). Addr is the block address.
 	KDMAWrite
+	// KLitmusOutcome is one observed value of a litmus-test run: Core is
+	// the observing thread, Tag the load's index within that thread,
+	// Addr the tested location, and Value the observed value. A summary
+	// event with Core -1 closes each run: Value is 1 when the outcome is
+	// SC-forbidden, Aux the run's seed.
+	KLitmusOutcome
 
 	numKinds
 )
@@ -89,6 +95,7 @@ var kindNames = [numKinds]string{
 	KLQOcc:          "lq-occ",
 	KSQOcc:          "sq-occ",
 	KDMAWrite:       "dma-write",
+	KLitmusOutcome:  "litmus-outcome",
 }
 
 // String returns the kind's stable wire name.
