@@ -19,7 +19,7 @@ import (
 
 func main() {
 	var (
-		which      = flag.String("experiment", "all", "all | tables | fig5 | fig6 | fig7 | fig8 | squash | power | relatedwork | snapshots | litmus")
+		which      = flag.String("experiment", "all", "all | tables | fig5 | fig6 | fig7 | fig8 | squash | power | relatedwork | snapshots | litmus | bench")
 		quick      = flag.Bool("quick", false, "reduced instruction budgets and core counts")
 		cores      = flag.Int("cores", 0, "override MP core count")
 		uniInstr   = flag.Uint64("uni", 0, "override uniprocessor instructions")
@@ -27,6 +27,8 @@ func main() {
 		samples    = flag.Int("samples", 0, "override MP sample count")
 		works      = flag.String("workloads", "", "comma-separated workload subset")
 		parallel   = flag.Bool("parallel", true, "run data points in parallel")
+		workers    = flag.Int("workers", 0, "worker pool size when -parallel (0 = one per GOMAXPROCS)")
+		benchOut   = flag.String("bench-out", "BENCH_1.json", "bench experiment: write the JSON report here (empty = skip)")
 		snapDir    = flag.String("snapshot-dir", "", "directory for snapshots experiment JSONL output (empty = print only)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -80,6 +82,7 @@ func main() {
 		cfg.Workloads = strings.Split(*works, ",")
 	}
 	cfg.Parallel = *parallel
+	cfg.Workers = *workers
 
 	w := os.Stdout
 	start := time.Now()
@@ -127,6 +130,15 @@ func main() {
 	case "litmus":
 		if sum := experiments.LitmusMatrix(w, cfg); !sum.SoundOK || !sum.UnsoundCaught {
 			os.Exit(1)
+		}
+	case "bench":
+		rep := experiments.Bench(w, cfg)
+		if *benchOut != "" {
+			if err := experiments.WriteBenchReport(*benchOut, rep); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(w, "wrote %s\n", *benchOut)
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *which)

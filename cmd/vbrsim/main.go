@@ -13,6 +13,8 @@ import (
 	"time"
 
 	"vbmo/internal/config"
+	"vbmo/internal/par"
+	"vbmo/internal/stats"
 	"vbmo/internal/system"
 	"vbmo/internal/trace"
 	"vbmo/internal/workload"
@@ -25,6 +27,9 @@ func main() {
 		cores    = flag.Int("cores", 1, "number of processors")
 		insts    = flag.Uint64("n", 100000, "instructions to commit per core")
 		seed     = flag.Uint64("seed", 42, "random seed")
+		seeds    = flag.Int("seeds", 1, "sweep N consecutive seeds (seed, seed+1, ...) and report each run")
+		parallel = flag.Bool("parallel", true, "run a -seeds sweep on multiple OS threads")
+		workers  = flag.Int("workers", 0, "worker pool size for a parallel sweep (0 = one per GOMAXPROCS)")
 		list     = flag.Bool("list", false, "list workloads and exit")
 		listMach = flag.Bool("list-machines", false, "list machine configurations and exit")
 		verifySC = flag.Bool("sc", false, "verify sequential consistency with the constraint-graph checker")
@@ -98,6 +103,22 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown machine %q; valid machines: %s\n",
 			*machine, strings.Join(config.Names(), ", "))
 		os.Exit(1)
+	}
+	if *seeds > 1 {
+		if *traceOut != "" {
+			fmt.Fprintln(os.Stderr, "-trace is incompatible with -seeds > 1 (interleaved runs would share one event stream)")
+			os.Exit(1)
+		}
+		if *snapEvery != 0 {
+			fmt.Fprintln(os.Stderr, "-snapshot-interval is incompatible with -seeds > 1")
+			os.Exit(1)
+		}
+		runSeedSweep(cfg, work, sweepOptions{
+			cores: *cores, insts: *insts, baseSeed: *seed, seeds: *seeds,
+			parallel: *parallel, workers: *workers,
+			verifySC: *verifySC, jsonOut: *jsonOut,
+		})
+		return
 	}
 	// Trace plumbing: the chosen format's sink is teed with a counting
 	// sink so the end-of-run summary can report per-kind event totals.
@@ -206,32 +227,7 @@ func main() {
 		}
 	}
 	if *jsonOut {
-		counters := make(map[string]uint64, len(res.Counters.Names()))
-		for _, name := range res.Counters.Names() {
-			counters[name] = res.Counters.Get(name)
-		}
-		out := jsonResult{
-			Machine:    res.Machine,
-			Workload:   res.Workload,
-			Cores:      res.Cores,
-			Seed:       *seed,
-			Cycles:     res.Cycles,
-			Committed:  p.Committed,
-			IPC:        res.IPC,
-			ElapsedSec: elapsed.Seconds(),
-			Loads:      p.CommittedLoads,
-			Stores:     p.CommittedStores,
-			Branches:   p.CommittedBranches,
-			Replays:    p.ReplayAccesses,
-			Squashes: jsonSquashes{
-				Mispredict: p.SquashesMispredict,
-				RAWLQ:      p.SquashesRAW,
-				InvalLQ:    p.SquashesInval,
-				ReplayRAW:  p.SquashesReplayRAW,
-				ReplayCons: p.SquashesReplayCons,
-			},
-			Counters: counters,
-		}
+		out := resultJSON(res, *seed, elapsed.Seconds())
 		if *verifySC {
 			out.SC = &scResult
 		}
@@ -307,6 +303,123 @@ type jsonSquashes struct {
 	InvalLQ    uint64 `json:"inval_lq"`
 	ReplayRAW  uint64 `json:"replay_raw"`
 	ReplayCons uint64 `json:"replay_cons"`
+}
+
+// resultJSON flattens an end-of-run Result into the -json wire shape.
+func resultJSON(res system.Result, seed uint64, elapsed float64) jsonResult {
+	p := res.Pipe
+	counters := make(map[string]uint64, len(res.Counters.Names()))
+	for _, name := range res.Counters.Names() {
+		counters[name] = res.Counters.Get(name)
+	}
+	return jsonResult{
+		Machine:    res.Machine,
+		Workload:   res.Workload,
+		Cores:      res.Cores,
+		Seed:       seed,
+		Cycles:     res.Cycles,
+		Committed:  p.Committed,
+		IPC:        res.IPC,
+		ElapsedSec: elapsed,
+		Loads:      p.CommittedLoads,
+		Stores:     p.CommittedStores,
+		Branches:   p.CommittedBranches,
+		Replays:    p.ReplayAccesses,
+		Squashes: jsonSquashes{
+			Mispredict: p.SquashesMispredict,
+			RAWLQ:      p.SquashesRAW,
+			InvalLQ:    p.SquashesInval,
+			ReplayRAW:  p.SquashesReplayRAW,
+			ReplayCons: p.SquashesReplayCons,
+		},
+		Counters: counters,
+	}
+}
+
+// sweepOptions scopes one -seeds sweep.
+type sweepOptions struct {
+	cores    int
+	insts    uint64
+	baseSeed uint64
+	seeds    int
+	parallel bool
+	workers  int
+	verifySC bool
+	jsonOut  bool
+}
+
+// runSeedSweep runs the workload once per seed across a worker pool
+// and reports every run in seed order: JSON Lines (one -json object
+// per run) or a text table with an IPC summary. Results are written
+// only after every cell finishes, so output order — and, because each
+// cell derives its own seed, every number in it — is independent of
+// worker scheduling.
+func runSeedSweep(cfg config.Machine, work workload.Params, o sweepOptions) {
+	type seedRun struct {
+		res     system.Result
+		elapsed float64
+		scText  string
+		scViol  bool
+	}
+	runs := make([]seedRun, o.seeds)
+	workers := 1
+	if o.parallel {
+		workers = par.Workers(o.workers)
+	}
+	par.Run(workers, o.seeds, func(i int) {
+		opt := system.Options{
+			Cores: o.cores, Seed: o.baseSeed + uint64(i),
+			DMAInterval: 4000, DMABurst: 2,
+			TrackConsistency: o.verifySC,
+		}
+		s := system.New(cfg, work, opt)
+		start := time.Now()
+		runs[i].res = s.Run(o.insts, opt)
+		runs[i].elapsed = time.Since(start).Seconds()
+		if o.verifySC {
+			op, cyc, g := s.CheckSC()
+			if cyc {
+				runs[i].scText = fmt.Sprintf("violation: %s at proc %d op %d addr %#x", g, op.Proc, op.Index, op.Addr)
+				runs[i].scViol = true
+			} else {
+				runs[i].scText = fmt.Sprintf("consistent (%s)", g)
+			}
+		}
+	})
+
+	anyViolation := false
+	var ipc stats.Sample
+	enc := json.NewEncoder(os.Stdout)
+	for i := range runs {
+		r := &runs[i]
+		anyViolation = anyViolation || r.scViol
+		ipc.Observe(r.res.IPC)
+		if o.jsonOut {
+			out := resultJSON(r.res, o.baseSeed+uint64(i), r.elapsed)
+			if o.verifySC {
+				out.SC = &r.scText
+			}
+			if err := enc.Encode(out); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			continue
+		}
+		p := r.res.Pipe
+		fmt.Printf("seed=%-6d ipc=%.4f committed=%d cycles=%d replays=%d squashes=%d",
+			o.baseSeed+uint64(i), r.res.IPC, p.Committed, r.res.Cycles, p.ReplayAccesses,
+			p.SquashesMispredict+p.SquashesRAW+p.SquashesInval+p.SquashesReplayRAW+p.SquashesReplayCons)
+		if o.verifySC {
+			fmt.Printf(" sc=%q", r.scText)
+		}
+		fmt.Println()
+	}
+	if !o.jsonOut {
+		fmt.Printf("%d seeds: IPC %s\n", o.seeds, ipc.String())
+	}
+	if anyViolation {
+		os.Exit(2)
+	}
 }
 
 func max64(a, b uint64) uint64 {

@@ -35,31 +35,58 @@ type Array struct {
 	sets    [][]line
 	setMask uint64
 	tick    uint32
+	// arena is the tail of the current line-storage chunk; newSet carves
+	// lazily-materialized sets out of it (see NewArray).
+	arena []line
 	// Accesses, Hits count Lookup calls and their hits.
 	Accesses, Hits uint64
 }
 
 // NewArray builds a tag array. Size/BlockSize/Ways must divide evenly;
-// the set count must be a power of two.
+// the set count must be a power of two. Per-set line storage is
+// allocated lazily on first Insert: a large lightly-used array (an 8 MB
+// L3 per core) costs memory proportional to its touched footprint, and
+// construction-heavy paths (one fresh hierarchy per experiment cell)
+// stop paying for sets the run never references. A nil set behaves
+// exactly like a set of invalid lines.
 func NewArray(cfg Config) *Array {
 	nsets := cfg.Size / BlockSize / cfg.Ways
 	if nsets <= 0 || nsets&(nsets-1) != 0 {
 		panic("cache: set count must be a positive power of two")
 	}
-	a := &Array{cfg: cfg, setMask: uint64(nsets - 1)}
-	a.sets = make([][]line, nsets)
-	backing := make([]line, nsets*cfg.Ways)
-	for i := range a.sets {
-		a.sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways]
-	}
-	return a
+	return &Array{cfg: cfg, setMask: uint64(nsets - 1), sets: make([][]line, nsets)}
 }
 
 // Config returns the array's configuration.
 func (a *Array) Config() Config { return a.cfg }
 
+func (a *Array) setIndex(addr uint64) uint64 {
+	return (addr / BlockSize) & a.setMask
+}
+
+// arenaSets is how many sets each storage chunk holds. Chunking keeps
+// first-touch materialization amortized (one allocation per arenaSets
+// sets) so a workload that keeps expanding its footprint does not pay
+// one heap allocation per newly-touched set in steady state.
+const arenaSets = 256
+
+// newSet materializes storage for one set.
+func (a *Array) newSet() []line {
+	w := a.cfg.Ways
+	if len(a.arena) < w {
+		chunk := arenaSets
+		if n := int(a.setMask) + 1; n < chunk {
+			chunk = n
+		}
+		a.arena = make([]line, chunk*w)
+	}
+	s := a.arena[:w:w]
+	a.arena = a.arena[w:]
+	return s
+}
+
 func (a *Array) set(addr uint64) []line {
-	return a.sets[(addr/BlockSize)&a.setMask]
+	return a.sets[a.setIndex(addr)]
 }
 
 // Lookup probes for addr's block, updating LRU and hit statistics.
@@ -93,7 +120,12 @@ func (a *Array) Contains(addr uint64) bool {
 // valid victim was displaced.
 func (a *Array) Insert(addr uint64) (victim uint64, evicted bool) {
 	tag := BlockAddr(addr)
-	set := a.set(addr)
+	si := a.setIndex(addr)
+	set := a.sets[si]
+	if set == nil {
+		set = a.newSet()
+		a.sets[si] = set
+	}
 	a.tick++
 	vi := 0
 	for i := range set {

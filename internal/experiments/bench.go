@@ -1,0 +1,278 @@
+// The bench experiment: a regression harness for the simulator's own
+// speed, as opposed to the simulated machines' performance that every
+// other experiment measures. It times steady-state simulation windows
+// (simulated instructions per wall second, allocations and bytes per
+// committed instruction) and whole-figure regenerations, and emits a
+// JSON report (BENCH_1.json) that can be diffed across commits. The
+// report embeds the pre-optimization reference numbers so a regression
+// is visible without checking out old code.
+
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"vbmo/internal/config"
+	"vbmo/internal/litmus"
+	"vbmo/internal/par"
+	"vbmo/internal/system"
+	"vbmo/internal/workload"
+)
+
+// ThroughputCell is one steady-state simulation-speed measurement:
+// warm a system past its compulsory-miss phase, then time a fixed
+// instruction window with the allocator stats sampled on both sides.
+type ThroughputCell struct {
+	Machine  string `json:"machine"`
+	Workload string `json:"workload"`
+	Cores    int    `json:"cores"`
+	// Instrs is the committed-instruction count of the timed window,
+	// summed over cores.
+	Instrs uint64 `json:"instrs"`
+	// WallSec is the wall-clock duration of the timed window.
+	WallSec float64 `json:"wall_sec"`
+	// InstrsPerSec is the headline simulator speed, Instrs / WallSec.
+	InstrsPerSec float64 `json:"instrs_per_sec"`
+	// AllocsPerInstr is heap allocations per committed instruction in
+	// the window (the hot path's steady-state target is ~0).
+	AllocsPerInstr float64 `json:"allocs_per_instr"`
+	// BytesPerInstr is heap bytes allocated per committed instruction.
+	BytesPerInstr float64 `json:"bytes_per_instr"`
+}
+
+// FigureTime is the wall time of one end-to-end figure regeneration at
+// reduced budget — the number a contributor actually waits on.
+type FigureTime struct {
+	Name    string  `json:"name"`
+	WallSec float64 `json:"wall_sec"`
+}
+
+// PrePRBaseline holds the reference numbers measured on the code
+// before the allocation-free hot-path rework (same workloads, same
+// budgets), kept here so BENCH_1.json is self-describing: current /
+// baseline is the speedup, and a current number drifting back toward
+// the baseline is a regression.
+type PrePRBaseline struct {
+	// BenchMsPerOp: BenchmarkSimulatorThroughput ms/op (20k-instr gzip
+	// run including construction).
+	BenchMsPerOp float64 `json:"bench_ms_per_op"`
+	// BenchAllocsPerOp: allocs/op of the same benchmark.
+	BenchAllocsPerOp float64 `json:"bench_allocs_per_op"`
+	// SteadyInstrsPerSec: warm baseline/gzip simulation speed.
+	SteadyInstrsPerSec float64 `json:"steady_instrs_per_sec"`
+	// SteadyAllocsPerInstr: warm baseline/gzip allocations per
+	// committed instruction.
+	SteadyAllocsPerInstr float64 `json:"steady_allocs_per_instr"`
+	// SteadyBytesPerInstr: warm baseline/gzip heap bytes per committed
+	// instruction.
+	SteadyBytesPerInstr float64 `json:"steady_bytes_per_instr"`
+}
+
+// prePR is the recorded pre-optimization reference (commit a8b8856,
+// this host class): see DESIGN.md §9.
+var prePR = PrePRBaseline{
+	BenchMsPerOp:         15.744,
+	BenchAllocsPerOp:     1778,
+	SteadyInstrsPerSec:   1.744e6,
+	SteadyAllocsPerInstr: 0.0492,
+	SteadyBytesPerInstr:  189.3,
+}
+
+// BenchReport is the BENCH_1.json document.
+type BenchReport struct {
+	Schema     int    `json:"schema"`
+	Generated  string `json:"generated"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// BenchMsPerOp and BenchAllocsPerOp mirror the root
+	// BenchmarkSimulatorThroughput measurement (construct a baseline
+	// gzip system, run 20k instructions) so the report is directly
+	// comparable to PrePRBaseline.BenchMsPerOp without running go test.
+	BenchMsPerOp     float64 `json:"bench_ms_per_op"`
+	BenchAllocsPerOp float64 `json:"bench_allocs_per_op"`
+	// Throughput holds the steady-state simulation-speed cells.
+	Throughput []ThroughputCell `json:"throughput"`
+	// Figures holds end-to-end figure regeneration wall times.
+	Figures []FigureTime `json:"figures"`
+	// PrePRBaseline is the fixed pre-optimization reference.
+	PrePRBaseline PrePRBaseline `json:"pre_pr_baseline"`
+}
+
+// measureThroughput warms one system past its cold-start phase and
+// times a steady-state window with allocator stats sampled on both
+// sides. Committed instructions are read through Result after the
+// clock stops, so the summary's allocations stay out of the window.
+func measureThroughput(machineName string, mc config.Machine, work workload.Params,
+	cores int, warm, window uint64) ThroughputCell {
+	opt := system.Options{Cores: cores, Seed: 1, DMAInterval: 4000, DMABurst: 2}
+	s := system.New(mc, work, opt)
+	s.Advance(warm, opt)
+	s.ResetStats()
+
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	s.Advance(window, opt)
+	wall := time.Since(t0).Seconds()
+	runtime.ReadMemStats(&m1)
+
+	committed := s.Result().Pipe.Committed
+	if committed == 0 {
+		committed = 1
+	}
+	return ThroughputCell{
+		Machine:        machineName,
+		Workload:       work.Name,
+		Cores:          cores,
+		Instrs:         committed,
+		WallSec:        wall,
+		InstrsPerSec:   float64(committed) / wall,
+		AllocsPerInstr: float64(m1.Mallocs-m0.Mallocs) / float64(committed),
+		BytesPerInstr:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(committed),
+	}
+}
+
+// benchWorkload resolves a workload by name, panicking on a typo —
+// the cell list below is static.
+func benchWorkload(name string) workload.Params {
+	w, ok := workload.ByName(name)
+	if !ok {
+		panic("experiments: unknown bench workload " + name)
+	}
+	return w
+}
+
+// Bench runs the simulator-speed regression harness and writes a
+// human-readable summary to w. The cells cover the baseline and the
+// two most-exercised replay machines on a uniprocessor workload, plus
+// one multiprocessor cell (coherence traffic exercises different
+// paths); the figure timings cover the §5.1 matrix, Figure 8, and a
+// reduced litmus sweep.
+func Bench(w io.Writer, cfg Config) BenchReport {
+	rep := BenchReport{
+		Schema:        1,
+		Generated:     time.Now().UTC().Format(time.RFC3339),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		PrePRBaseline: prePR,
+	}
+
+	// Mirror BenchmarkSimulatorThroughput: cold construction plus a
+	// 20k-instruction run, best-of-3 to shrug off scheduler noise.
+	{
+		work := benchWorkload("gzip")
+		mc := machineFor("baseline")
+		opt := system.Options{Cores: 1, Seed: 1, DMAInterval: 4000, DMABurst: 2}
+		best := 0.0
+		var m0, m1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		for i := 0; i < 3; i++ {
+			t0 := time.Now()
+			s := system.New(mc, work, opt)
+			s.Run(20000, opt)
+			if d := time.Since(t0).Seconds(); best == 0 || d < best {
+				best = d
+			}
+		}
+		runtime.ReadMemStats(&m1)
+		rep.BenchMsPerOp = best * 1e3
+		rep.BenchAllocsPerOp = float64(m1.Mallocs-m0.Mallocs) / 3
+		fmt.Fprintf(w, "\n== BenchmarkSimulatorThroughput equivalent (best of 3) ==\n")
+		fmt.Fprintf(w, "%.3f ms/op (pre-optimization reference %.3f ms/op, %.2fx), %.0f allocs/op (reference %.0f)\n",
+			rep.BenchMsPerOp, prePR.BenchMsPerOp, prePR.BenchMsPerOp/rep.BenchMsPerOp,
+			rep.BenchAllocsPerOp, prePR.BenchAllocsPerOp)
+	}
+
+	type cellSpec struct {
+		machine      string
+		work         string
+		cores        int
+		warm, window uint64
+	}
+	cells := []cellSpec{
+		{"baseline", "gzip", 1, 10000, 40000},
+		{"no-recent-snoop", "gzip", 1, 10000, 40000},
+		{"replay-all", "gzip", 1, 10000, 40000},
+		{"baseline", "ocean", 4, 2000, 6000},
+	}
+	fmt.Fprintf(w, "\n== Simulator speed: steady-state windows ==\n")
+	fmt.Fprintf(w, "%-16s %-10s %5s %10s %12s %14s %12s\n",
+		"machine", "workload", "cores", "instrs", "wall (ms)", "instrs/sec", "allocs/instr")
+	for _, c := range cells {
+		cell := measureThroughput(c.machine, machineFor(c.machine), benchWorkload(c.work),
+			c.cores, c.warm, c.window)
+		rep.Throughput = append(rep.Throughput, cell)
+		fmt.Fprintf(w, "%-16s %-10s %5d %10d %12.2f %14.0f %12.4f\n",
+			cell.Machine, cell.Workload, cell.Cores, cell.Instrs,
+			cell.WallSec*1e3, cell.InstrsPerSec, cell.AllocsPerInstr)
+	}
+
+	timeFigure := func(name string, fn func()) {
+		t0 := time.Now()
+		fn()
+		ft := FigureTime{Name: name, WallSec: time.Since(t0).Seconds()}
+		rep.Figures = append(rep.Figures, ft)
+		fmt.Fprintf(w, "%-24s %10.2f ms\n", ft.Name, ft.WallSec*1e3)
+	}
+	figCfg := cfg
+	figCfg.Workloads = []string{"gzip", "vortex", "tpcb", "ocean"}
+	fmt.Fprintf(w, "\n== Figure regeneration wall time (quick budgets) ==\n")
+	timeFigure("fig5-matrix", func() {
+		m := Run(figCfg, MachineNames)
+		Figure5(io.Discard, m)
+	})
+	fig8Cfg := figCfg
+	fig8Cfg.Workloads = []string{"gzip"}
+	timeFigure("fig8", func() { Figure8(io.Discard, fig8Cfg) })
+	timeFigure("litmus-sweep", func() {
+		workers := 1
+		if cfg.Parallel {
+			workers = par.Workers(cfg.Workers)
+		}
+		litmus.Sweep(litmus.SweepOptions{
+			Tests: litmus.Battery(), Configs: litmus.Configs(),
+			Runs: 20, Workers: workers, Seed: cfg.Seed,
+		})
+	})
+
+	base := rep.Throughput[0]
+	fmt.Fprintf(w, "\nheadline: %.2fx end-to-end (ms/op), %.0fx fewer steady-state allocs/instr vs pre-optimization reference\n",
+		prePR.BenchMsPerOp/rep.BenchMsPerOp,
+		prePR.SteadyAllocsPerInstr/maxf(base.AllocsPerInstr, 1e-6))
+	return rep
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// WriteBenchReport writes the report as indented JSON to path.
+func WriteBenchReport(path string, rep BenchReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"vbmo/internal/config"
+	"vbmo/internal/system"
+	"vbmo/internal/workload"
+)
+
+// TestSweepDeterminism runs the full registry — every machine, a
+// uniprocessor and a multiprocessor workload, multiple MP samples —
+// through the serial and the parallel sweep paths and requires the two
+// matrices to be bit-identical. This is the contract that lets
+// Parallel default to on: the worker pool may schedule cells in any
+// order, but seeds are derived per cell and observations are folded in
+// canonical cell order, so parallelism must be invisible in the
+// results.
+func TestSweepDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-registry sweep is slow; skipped in -short")
+	}
+	cfg := Config{
+		UniInstr:  3000,
+		MPInstr:   800,
+		MPCores:   2,
+		Samples:   2,
+		Seed:      42,
+		Workloads: []string{"gzip", "radiosity"},
+	}
+	machines := config.Names()
+
+	cfg.Parallel = false
+	serial := Run(cfg, machines)
+	cfg.Parallel = true
+	parallel := Run(cfg, machines)
+
+	for _, mc := range machines {
+		for _, w := range cfg.Workloads {
+			a, b := serial.Get(mc, w), parallel.Get(mc, w)
+			if a == nil || b == nil {
+				t.Fatalf("%s/%s: missing point (serial=%v parallel=%v)", mc, w, a != nil, b != nil)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("%s/%s: serial and parallel sweeps diverge:\n serial   IPC=%v raw=%v cons=%v\n parallel IPC=%v raw=%v cons=%v",
+					mc, w, a.IPC, a.RAWSquash, a.ConsSquash, b.IPC, b.RAWSquash, b.ConsSquash)
+			}
+		}
+	}
+}
+
+// TestRunRepeatable runs every registered machine twice with the same
+// seed and requires identical end-of-run results: same IPC, same
+// pipeline counter block, same named counters. This pins down the
+// simulator's own determinism, independent of the sweep layer.
+func TestRunRepeatable(t *testing.T) {
+	work, ok := workload.ByName("gzip")
+	if !ok {
+		t.Fatal("gzip workload missing")
+	}
+	for _, name := range config.Names() {
+		mc, ok := config.ByName(name)
+		if !ok {
+			t.Fatalf("machine %q not in registry", name)
+		}
+		opt := system.Options{Cores: 1, Seed: 7, DMAInterval: 4000, DMABurst: 2}
+		run := func() system.Result {
+			s := system.New(mc, work, opt)
+			return s.Run(4000, opt)
+		}
+		a, b := run(), run()
+		if a.IPC != b.IPC {
+			t.Errorf("%s: IPC differs across identical runs: %v vs %v", name, a.IPC, b.IPC)
+		}
+		if !reflect.DeepEqual(a.Pipe, b.Pipe) {
+			t.Errorf("%s: pipeline stats differ across identical runs", name)
+		}
+		an, bn := a.Counters.Names(), b.Counters.Names()
+		if !reflect.DeepEqual(an, bn) {
+			t.Errorf("%s: counter name sets differ", name)
+			continue
+		}
+		for _, c := range an {
+			if av, bv := a.Counters.Get(c), b.Counters.Get(c); av != bv {
+				t.Errorf("%s: counter %s differs: %d vs %d", name, c, av, bv)
+			}
+		}
+	}
+}

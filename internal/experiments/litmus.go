@@ -9,10 +9,10 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"runtime"
 	"strings"
 
 	"vbmo/internal/litmus"
+	"vbmo/internal/par"
 )
 
 // LitmusMatrix runs the battery sweep and writes the per-config verdict
@@ -23,9 +23,9 @@ func LitmusMatrix(w io.Writer, cfg Config) litmus.Summary {
 	if runs <= 0 {
 		runs = 300
 	}
-	workers := 4
+	workers := 1
 	if cfg.Parallel {
-		workers = runtime.NumCPU()
+		workers = par.Workers(cfg.Workers)
 	}
 	tests := litmus.Battery()
 	cols := litmus.Configs()

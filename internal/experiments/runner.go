@@ -10,9 +10,9 @@ import (
 	"fmt"
 	"io"
 	"sort"
-	"sync"
 
 	"vbmo/internal/config"
+	"vbmo/internal/par"
 	"vbmo/internal/stats"
 	"vbmo/internal/system"
 	"vbmo/internal/workload"
@@ -37,6 +37,9 @@ type Config struct {
 	Workloads []string
 	// Parallel enables running data points on multiple OS threads.
 	Parallel bool
+	// Workers bounds the worker pool when Parallel is set (0 = one per
+	// runtime.GOMAXPROCS; see par.Workers).
+	Workers int
 	// LitmusRuns is the perturbed executions per litmus (test, config)
 	// cell in the litmus experiment.
 	LitmusRuns int
@@ -135,8 +138,19 @@ func (c Config) workloadSet() []workload.Params {
 	return out
 }
 
-// runOne executes one sample and folds it into the point.
-func runOne(pt *Point, mc config.Machine, work workload.Params, cores int, instr uint64, seed uint64) {
+// cellObs is the raw measurement of one (machine, workload, sample)
+// cell. Cells run independently — possibly on different workers, in
+// any order — and are folded into Points afterwards in canonical cell
+// order, so the Sample observation sequences (and therefore the whole
+// Matrix) are bit-identical between serial and parallel execution.
+type cellObs struct {
+	ipc, l1dTotal, replayAll, replayNUS float64
+	robOcc, committed, replays          float64
+	lqSearches, rawSquash, consSquash   float64
+}
+
+// measureCell executes one sample and returns its observations.
+func measureCell(mc config.Machine, work workload.Params, cores int, instr uint64, seed uint64) cellObs {
 	opt := system.Options{
 		Cores: cores, Seed: seed,
 		DMAInterval: 4000, DMABurst: 2,
@@ -147,68 +161,82 @@ func runOne(pt *Point, mc config.Machine, work workload.Params, cores int, instr
 	s.Run(instr/2, opt)
 	s.ResetStats()
 	res := s.Run(instr, opt)
-	pt.IPC.Observe(res.IPC)
-	pt.L1DTotal.Observe(float64(res.Pipe.TotalL1DAccesses()))
-	pt.ReplayAll.Observe(float64(res.Pipe.ReplayAccesses))
-	pt.ReplayNUS.Observe(float64(res.Counters.Get("replay.replays_nus")))
-	pt.ROBOccupancy.Observe(res.Pipe.AvgROBOccupancy()) // already a per-core average
-	pt.Committed.Observe(float64(res.Pipe.Committed))
-	pt.Replays.Observe(float64(res.Pipe.ReplayAccesses))
-	pt.LQSearches.Observe(float64(res.Counters.Get("lq.searches")))
-	if mc.Scheme == config.ValueReplay {
-		pt.RAWSquash.Observe(float64(res.Pipe.SquashesReplayRAW))
-		pt.ConsSquash.Observe(float64(res.Pipe.SquashesReplayCons))
-	} else {
-		pt.RAWSquash.Observe(float64(res.Pipe.SquashesRAW))
-		pt.ConsSquash.Observe(float64(res.Pipe.SquashesInval))
+	o := cellObs{
+		ipc:        res.IPC,
+		l1dTotal:   float64(res.Pipe.TotalL1DAccesses()),
+		replayAll:  float64(res.Pipe.ReplayAccesses),
+		replayNUS:  float64(res.Counters.Get("replay.replays_nus")),
+		robOcc:     res.Pipe.AvgROBOccupancy(), // already a per-core average
+		committed:  float64(res.Pipe.Committed),
+		replays:    float64(res.Pipe.ReplayAccesses),
+		lqSearches: float64(res.Counters.Get("lq.searches")),
 	}
+	if mc.Scheme == config.ValueReplay {
+		o.rawSquash = float64(res.Pipe.SquashesReplayRAW)
+		o.consSquash = float64(res.Pipe.SquashesReplayCons)
+	} else {
+		o.rawSquash = float64(res.Pipe.SquashesRAW)
+		o.consSquash = float64(res.Pipe.SquashesInval)
+	}
+	return o
+}
+
+// foldCell appends one cell's observations to its point.
+func foldCell(pt *Point, o cellObs) {
+	pt.IPC.Observe(o.ipc)
+	pt.L1DTotal.Observe(o.l1dTotal)
+	pt.ReplayAll.Observe(o.replayAll)
+	pt.ReplayNUS.Observe(o.replayNUS)
+	pt.ROBOccupancy.Observe(o.robOcc)
+	pt.Committed.Observe(o.committed)
+	pt.Replays.Observe(o.replays)
+	pt.LQSearches.Observe(o.lqSearches)
+	pt.RAWSquash.Observe(o.rawSquash)
+	pt.ConsSquash.Observe(o.consSquash)
 }
 
 // Run computes the full §5.1 matrix: every machine × every selected
 // workload (uniprocessor workloads on one core, multiprocessor
-// workloads on MPCores with Samples samples).
+// workloads on MPCores with Samples samples). The unit of parallelism
+// is the (machine, workload, sample) cell — each sample already has a
+// deterministic derived seed, so samples of one point spread across
+// the worker pool like any other cell.
 func Run(cfg Config, machines []string) *Matrix {
 	m := &Matrix{Cfg: cfg, Points: make(map[string]map[string]*Point)}
-	type job struct {
+	type cell struct {
 		machine string
 		work    workload.Params
+		cores   int
+		instr   uint64
+		seed    uint64
 	}
-	var jobs []job
+	var cells []cell
 	for _, name := range machines {
 		m.Points[name] = make(map[string]*Point)
 		for _, w := range cfg.workloadSet() {
 			m.Points[name][w.Name] = &Point{Machine: name, Workload: w.Name, Multi: w.Multi}
-			jobs = append(jobs, job{name, w})
-		}
-	}
-	runJob := func(j job) {
-		pt := m.Points[j.machine][j.work.Name]
-		mc := machineFor(j.machine)
-		if j.work.Multi {
-			for s := 0; s < cfg.Samples; s++ {
-				runOne(pt, mc, j.work, cfg.MPCores, cfg.MPInstr, cfg.Seed+uint64(s)*101)
+			if w.Multi {
+				for s := 0; s < cfg.Samples; s++ {
+					cells = append(cells, cell{name, w, cfg.MPCores, cfg.MPInstr,
+						cfg.Seed + uint64(s)*101})
+				}
+			} else {
+				cells = append(cells, cell{name, w, 1, cfg.UniInstr, cfg.Seed})
 			}
-		} else {
-			runOne(pt, mc, j.work, 1, cfg.UniInstr, cfg.Seed)
 		}
 	}
+	workers := 1
 	if cfg.Parallel {
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, 8)
-		for _, j := range jobs {
-			wg.Add(1)
-			go func(j job) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				runJob(j)
-			}(j)
-		}
-		wg.Wait()
-	} else {
-		for _, j := range jobs {
-			runJob(j)
-		}
+		workers = par.Workers(cfg.Workers)
+	}
+	obs := make([]cellObs, len(cells))
+	par.Run(workers, len(cells), func(i int) {
+		c := cells[i]
+		obs[i] = measureCell(machineFor(c.machine), c.work, c.cores, c.instr, c.seed)
+	})
+	// Fold in canonical cell order, never in completion order.
+	for i, c := range cells {
+		foldCell(m.Points[c.machine][c.work.Name], obs[i])
 	}
 	return m
 }

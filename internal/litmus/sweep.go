@@ -17,6 +17,7 @@ import (
 	"vbmo/internal/config"
 	"vbmo/internal/consistency"
 	"vbmo/internal/core"
+	"vbmo/internal/par"
 	"vbmo/internal/system"
 	"vbmo/internal/trace"
 )
@@ -295,7 +296,8 @@ type SweepOptions struct {
 	Configs []Config
 	// Runs is the perturbed executions per (test, config) cell.
 	Runs int
-	// Workers bounds the worker pool (<=0 = 4).
+	// Workers bounds the worker pool (<=0 = one per runtime.GOMAXPROCS;
+	// see par.Workers).
 	Workers int
 	// Seed offsets every run's perturbation stream.
 	Seed uint64
@@ -304,9 +306,11 @@ type SweepOptions struct {
 }
 
 // Sweep runs the battery across the machine set in a bounded worker
-// pool — one job per (test, config) cell, each cell running Runs
-// perturbed executions — and returns the verdict matrix in battery
-// order (tests outer, configs inner).
+// pool (par.Run) — one job per (test, config) cell, each cell running
+// Runs perturbed executions — and returns the verdict matrix in
+// battery order (tests outer, configs inner). Cell seeds depend only
+// on the cell's (test, config) indices, so the matrix is identical at
+// any worker count.
 func Sweep(o SweepOptions) []Verdict {
 	tests := o.Tests
 	if tests == nil {
@@ -320,10 +324,6 @@ func Sweep(o SweepOptions) []Verdict {
 	if runs <= 0 {
 		runs = 100
 	}
-	workers := o.Workers
-	if workers <= 0 {
-		workers = 4
-	}
 
 	// The oracle is per-test, shared across the test's row.
 	allowed := make([]*AllowedSet, len(tests))
@@ -331,59 +331,44 @@ func Sweep(o SweepOptions) []Verdict {
 		allowed[i] = Allowed(t)
 	}
 
-	type job struct{ ti, ci int }
-	jobs := make(chan job)
 	verdicts := make([]Verdict, len(tests)*len(cfgs))
 	var done int
 	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				t, cfg := tests[j.ti], cfgs[j.ci]
-				v := Verdict{
-					Test: t.Name, Config: cfg.Name, Sound: cfg.Sound,
-					Runs: runs, Histogram: make(map[string]int),
-				}
-				// Decorrelate the perturbation streams across cells while
-				// keeping run i of a cell reproducible in isolation.
-				base := o.Seed ^ (uint64(j.ti)<<40 | uint64(j.ci)<<32)
-				for i := 0; i < runs; i++ {
-					res := RunOne(cfg.Machine, t, allowed[j.ti], base+uint64(i), nil)
-					if !res.OK {
-						v.Incomplete++
-						continue
-					}
-					v.Histogram[res.Key]++
-					if !res.Allowed {
-						v.Forbidden++
-					}
-					if res.Weak {
-						v.WeakHits++
-					}
-					if res.Cycle {
-						v.Cycles++
-					}
-				}
-				verdicts[j.ti*len(cfgs)+j.ci] = v
-				mu.Lock()
-				done++
-				if o.Progress != nil {
-					o.Progress(done, len(verdicts), v)
-				}
-				mu.Unlock()
-			}
-		}()
-	}
-	for ti := range tests {
-		for ci := range cfgs {
-			jobs <- job{ti, ci}
+	par.Run(o.Workers, len(verdicts), func(cell int) {
+		ti, ci := cell/len(cfgs), cell%len(cfgs)
+		t, cfg := tests[ti], cfgs[ci]
+		v := Verdict{
+			Test: t.Name, Config: cfg.Name, Sound: cfg.Sound,
+			Runs: runs, Histogram: make(map[string]int),
 		}
-	}
-	close(jobs)
-	wg.Wait()
+		// Decorrelate the perturbation streams across cells while
+		// keeping run i of a cell reproducible in isolation.
+		base := o.Seed ^ (uint64(ti)<<40 | uint64(ci)<<32)
+		for i := 0; i < runs; i++ {
+			res := RunOne(cfg.Machine, t, allowed[ti], base+uint64(i), nil)
+			if !res.OK {
+				v.Incomplete++
+				continue
+			}
+			v.Histogram[res.Key]++
+			if !res.Allowed {
+				v.Forbidden++
+			}
+			if res.Weak {
+				v.WeakHits++
+			}
+			if res.Cycle {
+				v.Cycles++
+			}
+		}
+		verdicts[cell] = v
+		mu.Lock()
+		done++
+		if o.Progress != nil {
+			o.Progress(done, len(verdicts), v)
+		}
+		mu.Unlock()
+	})
 	return verdicts
 }
 

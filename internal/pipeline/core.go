@@ -32,17 +32,17 @@ type Core struct {
 	vp     *vpred.LastValue // optional load-value predictor
 
 	nextTag int64
-	rob     []*entry
-	iq      []*entry
-	pend    []*entry // issued, awaiting completion
-	psd     []*entry // stores awaiting data capture
+	rob     entryRing // reorder buffer, capacity ROBSize
+	iq      []*entry  // issue queue, preallocated to IQSize
+	pend    []*entry  // issued, awaiting completion; preallocated
+	psd     []*entry  // stores awaiting data capture; preallocated
 	pool    pool
 
 	renameMap [isa.NumRegs]*entry
 	arch      prog.ArchState
 
 	fetchPC         uint64
-	fetchQ          []fetched
+	fetchQ          fetchRing // fetch-to-dispatch buffer, capacity FetchBuf
 	fetchStallUntil int64
 
 	dispatchBarrier int64 // membar tag stalling dispatch, -1 when clear
@@ -73,13 +73,13 @@ type Core struct {
 	// checker: loads sample their value's writer at the same instant
 	// they sample the value.
 	Shadow *consistency.Shadow
-	// storeWriters maps recently committed store tags to their writer
-	// identity so forwarded loads can resolve provenance at commit; a
-	// ring of recent keys bounds its size (any forwarding load commits
-	// within one ROB generation of its source store).
-	storeWriters   map[int64]consistency.Writer
-	storeWriterLog []int64
-	writerSeq      uint64 // store writer sequence (survives ResetStats)
+	// storeWriters records recently committed store tags and their writer
+	// identities so forwarded loads can resolve provenance at commit; the
+	// fixed window (2×ROBSize stores) bounds its size — any forwarding
+	// load commits within one ROB generation of its source store. Nil
+	// until the first consistency-tracked store commit.
+	storeWriters *writerRing
+	writerSeq    uint64 // store writer sequence (survives ResetStats)
 
 	// trace, when non-nil, receives the replay-lifecycle event stream
 	// (DESIGN.md §6). Every emission site is guarded by one nil check so
@@ -95,9 +95,9 @@ func New(id int, cfg config.Machine, p *prog.Program, mem *prog.Image, hier *cac
 	// A nonzero init.PC selects a per-core entry point within the shared
 	// program — litmus tests give every core its own section; SPMD
 	// workloads leave PC zero and start at the program entry.
-	entry := init.PC
-	if entry == 0 {
-		entry = p.Entry
+	entryPC := init.PC
+	if entryPC == 0 {
+		entryPC = p.Entry
 	}
 	c := &Core{
 		ID:              id,
@@ -108,11 +108,17 @@ func New(id int, cfg config.Machine, p *prog.Program, mem *prog.Image, hier *cac
 		bp:              bpred.New(cfg.BP),
 		sq:              lsq.NewStoreQueue(cfg.SQSize),
 		arch:            init,
-		fetchPC:         entry,
+		fetchPC:         entryPC,
 		dispatchBarrier: -1,
 		lastReplayCycle: -1,
+		rob:             newEntryRing(cfg.ROBSize),
+		fetchQ:          newFetchRing(cfg.FetchBuf),
+		iq:              make([]*entry, 0, cfg.IQSize),
+		pend:            make([]*entry, 0, cfg.ROBSize),
+		psd:             make([]*entry, 0, cfg.SQSize),
 	}
-	c.arch.PC = entry
+	c.pool.init(cfg.ROBSize)
+	c.arch.PC = entryPC
 	if cfg.Scheme == config.ValueReplay {
 		c.eng = core.NewEngine(cfg.Filter, cfg.LQSize)
 	} else {
@@ -189,7 +195,7 @@ func (c *Core) SetTracer(t *trace.Tracer) {
 }
 
 // ROBLen returns the reorder buffer's current occupancy.
-func (c *Core) ROBLen() int { return len(c.rob) }
+func (c *Core) ROBLen() int { return c.rob.Len() }
 
 // IQLen returns the issue queue's current occupancy.
 func (c *Core) IQLen() int { return len(c.iq) }
@@ -219,7 +225,7 @@ func (c *Core) Step() {
 	c.issue()
 	c.dispatch()
 	c.fetch()
-	c.Stats.ROBOccupancySum += uint64(len(c.rob))
+	c.Stats.ROBOccupancySum += uint64(c.rob.Len())
 	c.Stats.Cycles++
 	c.cycle++
 }
@@ -346,8 +352,8 @@ func (c *Core) captureStoreData() {
 // Commit.
 
 func (c *Core) commit() {
-	for n := 0; n < c.cfg.Width && len(c.rob) > 0; n++ {
-		e := c.rob[0]
+	for n := 0; n < c.cfg.Width && c.rob.Len() > 0; n++ {
+		e := c.rob.At(0)
 		if !e.done {
 			return
 		}
@@ -366,14 +372,9 @@ func (c *Core) commit() {
 				c.writerSeq++
 				c.Shadow.Write(e.addr, w, e.value)
 				if c.storeWriters == nil {
-					c.storeWriters = make(map[int64]consistency.Writer)
+					c.storeWriters = newWriterRing(2 * c.cfg.ROBSize)
 				}
-				c.storeWriters[e.tag] = w
-				c.storeWriterLog = append(c.storeWriterLog, e.tag)
-				if len(c.storeWriterLog) > 2*c.cfg.ROBSize {
-					delete(c.storeWriters, c.storeWriterLog[0])
-					c.storeWriterLog = c.storeWriterLog[1:]
-				}
+				c.storeWriters.Push(e.tag, w)
 			}
 			c.hier.Write(e.addr, c.cycle)
 			c.Stats.StoreAccesses++
@@ -405,7 +406,7 @@ func (c *Core) commit() {
 		if e.isBranch {
 			c.Stats.CommittedBranches++
 		}
-		if e.inst.WritesReg() {
+		if e.writesReg {
 			c.arch.WriteReg(e.inst.Dst, e.result)
 			if c.renameMap[e.inst.Dst] == e {
 				c.renameMap[e.inst.Dst] = nil
@@ -436,7 +437,7 @@ func (c *Core) commit() {
 					// at commit: the source store has already committed
 					// (it is older). Replayed loads already carry their
 					// replay-time writer.
-					if sw, ok := c.storeWriters[e.forwardTag]; ok {
+					if sw, ok := c.storeWriters.Lookup(e.forwardTag); ok {
 						w = sw
 					}
 				}
@@ -445,7 +446,7 @@ func (c *Core) commit() {
 			c.CommitHook(rec)
 		}
 		c.Stats.Committed++
-		c.rob = c.rob[1:]
+		c.rob.PopFront()
 		c.pool.put(e)
 	}
 }
@@ -456,8 +457,8 @@ func (c *Core) commit() {
 func (c *Core) replayStage() {
 	budget := c.cfg.ReplayPerCycle
 	depth := c.cfg.ReplayWindow
-	if depth > len(c.rob) {
-		depth = len(c.rob)
+	if depth > c.rob.Len() {
+		depth = c.rob.Len()
 	}
 	// Replay and compare are pipelined: one replay may *issue* per
 	// cycle even while older replays' compares are pending, but
@@ -465,7 +466,7 @@ func (c *Core) replayStage() {
 	// replay miss delays every younger completion (lastReplayCycle).
 	olderPending := false
 	for i := 0; i < depth; i++ {
-		e := c.rob[i]
+		e := c.rob.At(i)
 		if e.isStore {
 			// Constraint 1: all prior stores must have written the
 			// cache before any younger load replays.
@@ -615,25 +616,40 @@ func (c *Core) issue() {
 		loadPorts: c.cfg.LoadPorts,
 		total:     c.cfg.Width,
 	}
-	i := 0
-	for i < len(c.iq) && b.total > 0 {
+	// One pass with in-place compaction: issued entries (and strays left
+	// inIQ=false by a squash cycle) drop out, survivors keep their order.
+	// A mid-scan squash rebuilds c.iq via filterOlder and ends the cycle;
+	// entries issued earlier this cycle then linger (inIQ=false) until
+	// this loop drops them next cycle — before dispatch looks at the
+	// queue again, so occupancy checks never see them.
+	out := 0
+	for i := 0; i < len(c.iq); i++ {
 		e := c.iq[i]
 		if !e.inIQ {
-			// Issued on a cycle that ended in a squash before the list
-			// was compacted.
-			c.iq = append(c.iq[:i], c.iq[i+1:]...)
 			continue
 		}
-		issued, squashed := c.tryIssue(e, &b)
-		if squashed {
-			return
+		if b.total > 0 {
+			issued, squashed := c.tryIssue(e, &b)
+			if squashed {
+				return
+			}
+			if issued {
+				b.total--
+				continue
+			}
 		}
-		if issued {
-			b.total--
-			c.iq = append(c.iq[:i], c.iq[i+1:]...)
-			continue
-		}
-		i++
+		c.iq[out] = e
+		out++
+	}
+	clearTail(c.iq[out:])
+	c.iq = c.iq[:out]
+}
+
+// clearTail nils dropped slots so recycled entries are not pinned by
+// the slice's backing array.
+func clearTail(s []*entry) {
+	for i := range s {
+		s[i] = nil
 	}
 }
 
@@ -641,7 +657,7 @@ func (c *Core) issue() {
 // squashed). A squash can happen when an insulated/hybrid load-issue
 // search finds a violation.
 func (c *Core) tryIssue(e *entry, b *fuBudget) (bool, bool) {
-	switch e.inst.Class() {
+	switch e.cls {
 	case isa.ClassIntALU:
 		return c.issueALU(e, &b.intALU, c.cfg.IntLat), false
 	case isa.ClassIntMul:
@@ -865,7 +881,8 @@ func (c *Core) unlink(p *entry) {
 // still incomplete (prior load not done, or prior store address
 // unresolved) — the no-reorder filter's issue-time condition.
 func (c *Core) priorMemIncomplete(e *entry) bool {
-	for _, o := range c.rob {
+	for i, n := 0, c.rob.Len(); i < n; i++ {
+		o := c.rob.At(i)
 		if o.tag >= e.tag {
 			return false
 		}
@@ -888,19 +905,19 @@ func (c *Core) priorMemIncomplete(e *entry) bool {
 
 func (c *Core) dispatch() {
 	for n := 0; n < c.cfg.Width; n++ {
-		if len(c.fetchQ) == 0 || c.fetchQ[0].readyCycle > c.cycle {
+		if c.fetchQ.Len() == 0 || c.fetchQ.Front().readyCycle > c.cycle {
 			return
 		}
 		if c.dispatchBarrier >= 0 {
 			c.Stats.StallBarrier++
 			return
 		}
-		if len(c.rob) >= c.cfg.ROBSize {
+		if c.rob.Len() >= c.cfg.ROBSize {
 			c.Stats.StallROB++
 			return
 		}
-		f := c.fetchQ[0]
-		cls := f.inst.Class()
+		f := c.fetchQ.Front()
+		cls := f.cls
 		needIQ := cls != isa.ClassNop && cls != isa.ClassMembar
 		if needIQ && len(c.iq) >= c.cfg.IQSize {
 			c.Stats.StallIQ++
@@ -924,17 +941,18 @@ func (c *Core) dispatch() {
 				return
 			}
 		}
-		c.fetchQ = c.fetchQ[1:]
-		c.dispatchOne(f)
+		c.fetchQ.DropFront()
+		c.dispatchOne(f) // f stays valid: the slot is not reused until a push
 	}
 }
 
-func (c *Core) dispatchOne(f fetched) {
+func (c *Core) dispatchOne(f *fetched) {
 	e := c.pool.get()
 	e.tag = c.nextTag
 	c.nextTag++
 	e.pc = f.pc
 	e.inst = f.inst
+	e.cls = f.cls
 	e.predTaken = f.predTaken
 	e.meta = f.meta
 	e.histSnapshot = f.hist
@@ -943,38 +961,32 @@ func (c *Core) dispatchOne(f fetched) {
 	e.doneCycle = -1
 
 	// Rename: bind sources to producers or architectural values.
-	bind := func(slot int, r isa.Reg) {
-		if !f.inst.ReadsReg(slot) {
-			return
-		}
-		p := c.renameMap[r]
-		if r == isa.RZero {
-			p = nil
-		}
-		if slot == 1 {
-			e.reads1 = true
-			if p == nil {
-				e.src1Val = c.arch.ReadReg(r)
-			} else {
-				e.src1 = p
-			}
+	if f.inst.ReadsReg(1) {
+		r := f.inst.Src1
+		e.reads1 = true
+		if p := c.renameMap[r]; p != nil && r != isa.RZero {
+			e.src1 = p
+			e.src1Gen = p.gen
 		} else {
-			e.reads2 = true
-			if p == nil {
-				e.src2Val = c.arch.ReadReg(r)
-			} else {
-				e.src2 = p
-			}
+			e.src1Val = c.arch.ReadReg(r)
 		}
 	}
-	bind(1, f.inst.Src1)
-	bind(2, f.inst.Src2)
-	if f.inst.WritesReg() {
+	if f.inst.ReadsReg(2) {
+		r := f.inst.Src2
+		e.reads2 = true
+		if p := c.renameMap[r]; p != nil && r != isa.RZero {
+			e.src2 = p
+			e.src2Gen = p.gen
+		} else {
+			e.src2Val = c.arch.ReadReg(r)
+		}
+	}
+	e.writesReg = f.inst.WritesReg()
+	if e.writesReg {
 		c.renameMap[f.inst.Dst] = e
 	}
 
-	cls := f.inst.Class()
-	switch cls {
+	switch f.cls {
 	case isa.ClassNop:
 		e.done = true
 		e.doneCycle = c.cycle
@@ -1028,7 +1040,7 @@ func (c *Core) dispatchOne(f fetched) {
 		e.inIQ = true
 		c.iq = append(c.iq, e)
 	}
-	c.rob = append(c.rob, e)
+	c.rob.Push(e)
 }
 
 // ---------------------------------------------------------------------
@@ -1038,7 +1050,7 @@ func (c *Core) fetch() {
 	if c.cycle < c.fetchStallUntil {
 		return
 	}
-	if len(c.fetchQ) >= c.cfg.FetchBuf {
+	if c.fetchQ.Len() >= c.cfg.FetchBuf {
 		return
 	}
 	// One instruction-cache access per fetch cycle.
@@ -1048,17 +1060,22 @@ func (c *Core) fetch() {
 		return
 	}
 	ready := c.cycle + int64(c.cfg.FrontEndDepth)
-	for n := 0; n < c.cfg.Width && len(c.fetchQ) < c.cfg.FetchBuf; n++ {
+	for n := 0; n < c.cfg.Width && c.fetchQ.Len() < c.cfg.FetchBuf; n++ {
 		in, ok := c.prog.Fetch(c.fetchPC)
 		if !ok {
 			in = isa.Inst{Op: isa.OpNop} // wrong-path filler
 		}
-		f := fetched{pc: c.fetchPC, inst: in, readyCycle: ready, hist: c.bp.History()}
-		if in.IsBranch() {
+		cls := in.Class()
+		f := c.fetchQ.PushSlot()
+		f.pc = c.fetchPC
+		f.inst = in
+		f.cls = cls
+		f.readyCycle = ready
+		f.hist = c.bp.History()
+		if cls == isa.ClassBranch {
 			f.predTaken, f.meta = c.bp.PredictInst(in, c.fetchPC)
 		}
-		c.fetchQ = append(c.fetchQ, f)
-		if in.IsBranch() && f.predTaken {
+		if cls == isa.ClassBranch && f.predTaken {
 			target := c.prog.Target(in, c.fetchPC)
 			if _, hit := c.bp.PredictTarget(c.fetchPC); !hit {
 				// BTB miss on a predicted-taken branch: one bubble while
@@ -1082,32 +1099,38 @@ func (c *Core) fetch() {
 // instruction's snapshot.
 func (c *Core) squashFrom(fromTag int64, newPC uint64, branchRepair bool) {
 	// Find the cut point.
-	cut := len(c.rob)
-	for i := range c.rob {
-		if c.rob[i].tag >= fromTag {
+	robLen := c.rob.Len()
+	cut := robLen
+	for i := 0; i < robLen; i++ {
+		if c.rob.At(i).tag >= fromTag {
 			cut = i
 			break
 		}
 	}
 	if !branchRepair {
-		if cut < len(c.rob) {
-			c.bp.SetHistory(c.rob[cut].histSnapshot)
-		} else if len(c.fetchQ) > 0 {
+		if cut < robLen {
+			c.bp.SetHistory(c.rob.At(cut).histSnapshot)
+		} else if c.fetchQ.Len() > 0 {
 			// Nothing in the ROB was killed, but the fetch buffer holds
 			// speculative predictions that polluted global history.
-			c.bp.SetHistory(c.fetchQ[0].hist)
+			c.bp.SetHistory(c.fetchQ.Front().hist)
 		}
 	}
-	killed := c.rob[cut:]
-	c.Stats.SquashedInstrs += uint64(len(killed)) + uint64(len(c.fetchQ))
-	c.rob = c.rob[:cut]
+	c.Stats.SquashedInstrs += uint64(robLen-cut) + uint64(c.fetchQ.Len())
+	// Recycle the killed entries (oldest first, matching the old append
+	// order) before the ring drops its references.
+	for i := cut; i < robLen; i++ {
+		c.pool.put(c.rob.At(i))
+	}
+	c.rob.TruncateFrom(cut)
 
 	// Rebuild the rename map from survivors.
 	for i := range c.renameMap {
 		c.renameMap[i] = nil
 	}
-	for _, e := range c.rob {
-		if e.inst.WritesReg() {
+	for i := 0; i < cut; i++ {
+		e := c.rob.At(i)
+		if e.writesReg {
 			c.renameMap[e.inst.Dst] = e
 		}
 	}
@@ -1131,10 +1154,7 @@ func (c *Core) squashFrom(fromTag int64, newPC uint64, branchRepair bool) {
 		c.dispatchBarrier = -1
 	}
 
-	for _, e := range killed {
-		c.pool.put(e)
-	}
-	c.fetchQ = c.fetchQ[:0]
+	c.fetchQ.Clear()
 	c.fetchPC = newPC
 	// Redirect takes effect next cycle.
 	if c.fetchStallUntil <= c.cycle {
@@ -1165,8 +1185,8 @@ func (c *Core) HandleExternalInvalidation(block uint64) {
 	}
 	if c.alq != nil {
 		commitTag := int64(-1)
-		if len(c.rob) > 0 {
-			commitTag = c.rob[0].tag
+		if c.rob.Len() > 0 {
+			commitTag = c.rob.At(0).tag
 		}
 		sqz, found := c.alq.OnInvalidation(block, commitTag)
 		if found {
@@ -1198,9 +1218,9 @@ func (c *Core) HandleExternalFill(block uint64) {
 }
 
 func (c *Core) youngestLoadTag() int64 {
-	for i := len(c.rob) - 1; i >= 0; i-- {
-		if c.rob[i].isLoad {
-			return c.rob[i].tag
+	for i := c.rob.Len() - 1; i >= 0; i-- {
+		if e := c.rob.At(i); e.isLoad {
+			return e.tag
 		}
 	}
 	return -1

@@ -18,15 +18,24 @@ import (
 // entry is one reorder-buffer entry (a dynamic instruction in flight).
 // Dataflow uses direct producer pointers: a consumer is always younger
 // than its producers, so a squash that frees a producer also frees every
-// consumer holding a pointer to it.
+// consumer holding a pointer to it. Entries are recycled through a
+// generation-tagged freelist (pool): every recycle bumps gen, and a
+// consumer snapshots its producer's generation at rename, so a read
+// through a stale pointer — a pointer that survived its producer's
+// recycling, which the squash/unlink invariants forbid — is detected
+// instead of silently reading the wrong instruction's result.
 type entry struct {
-	tag  int64
-	pc   uint64
-	inst isa.Inst
+	tag       int64
+	pc        uint64
+	inst      isa.Inst
+	cls       isa.Class // inst.Class(), computed once at fetch
+	writesReg bool      // inst.WritesReg(), computed once at dispatch
 
 	// Dataflow. srcN is nil when the operand was ready at dispatch (its
 	// value is in srcNVal) or when the instruction does not read slot N.
 	src1, src2   *entry
+	src1Gen      uint64 // src1's generation at rename
+	src2Gen      uint64 // src2's generation at rename
 	src1Val      uint64
 	src2Val      uint64
 	reads1       bool
@@ -78,18 +87,28 @@ type entry struct {
 	replayValue   uint64
 	replayedOK    bool
 	noReplay      bool // forward-progress rule 3 mark
+
+	// gen counts recyclings of this storage slot. It survives the pool's
+	// zeroing and is never reset; see pool.get.
+	gen uint64
 }
 
 // srcReady reports whether operand slot n is available and returns its
-// value.
+// value. On the first ready observation the value is latched into the
+// entry and the producer pointer dropped: a producer's result is
+// immutable once done/resultReady (a mispredicted value reaches
+// consumers only through a squash that kills them), so latching is
+// invisible to results while sparing the issue loop's repeated scans a
+// pointer chase per operand per cycle.
 func (e *entry) srcReady(n int) (uint64, bool) {
 	var p *entry
 	var v uint64
+	var gen uint64
 	var reads bool
 	if n == 1 {
-		p, v, reads = e.src1, e.src1Val, e.reads1
+		p, v, gen, reads = e.src1, e.src1Val, e.src1Gen, e.reads1
 	} else {
-		p, v, reads = e.src2, e.src2Val, e.reads2
+		p, v, gen, reads = e.src2, e.src2Val, e.src2Gen, e.reads2
 	}
 	if !reads {
 		return 0, true
@@ -97,24 +116,53 @@ func (e *entry) srcReady(n int) (uint64, bool) {
 	if p == nil {
 		return v, true
 	}
+	if p.gen != gen {
+		// The producer slot was recycled while this consumer still held a
+		// pointer to it. The squash and commit-time unlink invariants make
+		// this unreachable; reaching it means the freelist would otherwise
+		// have handed this consumer another instruction's result.
+		panic("pipeline: consumer read a recycled producer entry")
+	}
 	if p.done || p.resultReady {
-		return p.result, true
+		v = p.result
+		if n == 1 {
+			e.src1 = nil
+			e.src1Val = v
+		} else {
+			e.src2 = nil
+			e.src2Val = v
+		}
+		return v, true
 	}
 	return 0, false
 }
 
-// pool is a freelist of entries; the pipeline allocates several entries
-// per cycle and this keeps GC pressure negligible.
+// pool is a generation-tagged freelist of entries. At most ROBSize
+// entries are ever live (every entry is in the ROB), so the pool is
+// pre-filled from one contiguous slab at core construction and the
+// cycle loop never allocates entry storage. Recycling bumps the
+// entry's generation (see entry.gen); everything else is zeroed.
 type pool struct{ free []*entry }
+
+// init pre-fills the freelist with n slab-backed entries.
+func (p *pool) init(n int) {
+	slab := make([]entry, n)
+	p.free = make([]*entry, n)
+	for i := range slab {
+		p.free[i] = &slab[i]
+	}
+}
 
 func (p *pool) get() *entry {
 	if n := len(p.free); n > 0 {
 		e := p.free[n-1]
 		p.free = p.free[:n-1]
+		gen := e.gen
 		*e = entry{}
+		e.gen = gen + 1
 		return e
 	}
-	return &entry{}
+	return &entry{gen: 1}
 }
 
 func (p *pool) put(e *entry) { p.free = append(p.free, e) }
@@ -123,6 +171,7 @@ func (p *pool) put(e *entry) { p.free = append(p.free, e) }
 type fetched struct {
 	pc         uint64
 	inst       isa.Inst
+	cls        isa.Class // inst.Class(), computed once at fetch
 	predTaken  bool
 	meta       bpred.Meta
 	hist       uint64

@@ -81,6 +81,11 @@ const (
 type Image struct {
 	pages map[uint64]*[pageWords]uint64
 	seed  uint64
+	// One-entry page cache: loads and stores cluster within pages, so
+	// remembering the last page touched short-circuits the map lookup on
+	// the simulator's per-access hot path.
+	lastPN uint64
+	lastPG *[pageWords]uint64
 }
 
 // NewImage creates an image whose background content is derived from
@@ -108,6 +113,9 @@ func (im *Image) Background(addr uint64) uint64 {
 
 func (im *Image) page(addr uint64, create bool) *[pageWords]uint64 {
 	pn := addr >> pageShift
+	if pg := im.lastPG; pg != nil && im.lastPN == pn {
+		return pg
+	}
 	pg := im.pages[pn]
 	if pg == nil && create {
 		pg = new([pageWords]uint64)
@@ -116,6 +124,9 @@ func (im *Image) page(addr uint64, create bool) *[pageWords]uint64 {
 			pg[i] = im.Background(base + uint64(i)*8)
 		}
 		im.pages[pn] = pg
+	}
+	if pg != nil {
+		im.lastPN, im.lastPG = pn, pg
 	}
 	return pg
 }

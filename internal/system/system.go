@@ -292,6 +292,17 @@ func (s *System) ResetStats() {
 // target instructions (or MaxCycles elapses). It returns the aggregate
 // result.
 func (s *System) Run(target uint64, opt Options) Result {
+	s.Advance(target, opt)
+	return s.Result()
+}
+
+// Advance is Run's cycle loop without the summary: it steps the system
+// — per-cycle hook, DMA tick, lock-step core stepping, snapshot
+// sampling — until every core has committed at least target
+// instructions (cumulative since the last ResetStats) or MaxCycles
+// elapses. Benchmarks and the allocation-regression tests use it to
+// measure steady-state windows without Result's allocations.
+func (s *System) Advance(target uint64, opt Options) {
 	maxCycles := opt.MaxCycles
 	if maxCycles == 0 {
 		maxCycles = int64(target)*200 + 1_000_000
@@ -323,7 +334,6 @@ func (s *System) Run(target uint64, opt Options) Result {
 			s.sample()
 		}
 	}
-	return s.Result()
 }
 
 // sample records one metrics snapshot per core (occupancies observed

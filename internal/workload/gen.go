@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"sync"
+
 	"vbmo/internal/isa"
 	"vbmo/internal/prog"
 )
@@ -397,13 +399,50 @@ func measureMix(p Params, pr *prog.Program, seed uint64, n int) probs {
 	return m
 }
 
+// genKey identifies one calibrated program: Params is a comparable
+// value type, so (Params, seed) keys the memo directly.
+type genKey struct {
+	p    Params
+	seed uint64
+}
+
+var genMemo struct {
+	sync.Mutex
+	m map[genKey]*prog.Program
+}
+
 // Generate builds the static program for the workload. All cores of a
 // multiprocessor run execute the same program (SPMD); per-core data
 // placement comes from InitState. Generation calibrates: it executes
 // each candidate program functionally and re-weights the sampling
 // probabilities so the realized dynamic mix tracks the Params targets.
+//
+// Generation is deterministic in (Params, seed) and the returned
+// Program is read-only after construction, so results are memoized:
+// experiment sweeps re-run the same workload across many machine
+// configurations and samples, and each calibration costs three
+// functional executions that the sweep need not repeat.
 func Generate(p Params, seed uint64) *prog.Program {
 	p = p.sane()
+	key := genKey{p, seed}
+	genMemo.Lock()
+	if pr, ok := genMemo.m[key]; ok {
+		genMemo.Unlock()
+		return pr
+	}
+	genMemo.Unlock()
+	pr := generate(p, seed)
+	genMemo.Lock()
+	if genMemo.m == nil {
+		genMemo.m = make(map[genKey]*prog.Program)
+	}
+	genMemo.m[key] = pr
+	genMemo.Unlock()
+	return pr
+}
+
+// generate is the uncached calibration loop behind Generate.
+func generate(p Params, seed uint64) *prog.Program {
 	adj := probs{load: p.LoadFrac, store: p.StoreFrac, branch: p.BranchFrac}
 	var out *prog.Program
 	for iter := 0; iter < 3; iter++ {
