@@ -19,7 +19,7 @@ import (
 
 func main() {
 	var (
-		which      = flag.String("experiment", "all", "all | tables | fig5 | fig6 | fig7 | fig8 | squash | power | relatedwork | snapshots | litmus | bench")
+		which      = flag.String("experiment", "all", "all | tables | fig5 | fig6 | fig7 | fig8 | squash | power | relatedwork | snapshots | litmus | faults | bench")
 		quick      = flag.Bool("quick", false, "reduced instruction budgets and core counts")
 		cores      = flag.Int("cores", 0, "override MP core count")
 		uniInstr   = flag.Uint64("uni", 0, "override uniprocessor instructions")
@@ -28,6 +28,10 @@ func main() {
 		works      = flag.String("workloads", "", "comma-separated workload subset")
 		parallel   = flag.Bool("parallel", true, "run data points in parallel")
 		workers    = flag.Int("workers", 0, "worker pool size when -parallel (0 = one per GOMAXPROCS)")
+		resume      = flag.String("resume", "", "JSONL checkpoint journal for the §5.1 matrix; completed cells are replayed, not re-run")
+		retries     = flag.Int("retries", 0, "re-attempts for a failed matrix cell")
+		cellTimeout = flag.Duration("cell-timeout", 0, "per-cell wall-clock deadline for the §5.1 matrix (0 = none; nondeterministic)")
+
 		benchOut   = flag.String("bench-out", "BENCH_1.json", "bench experiment: write the JSON report here (empty = skip)")
 		snapDir    = flag.String("snapshot-dir", "", "directory for snapshots experiment JSONL output (empty = print only)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -83,9 +87,16 @@ func main() {
 	}
 	cfg.Parallel = *parallel
 	cfg.Workers = *workers
+	cfg.Checkpoint = *resume
+	cfg.Retries = *retries
+	cfg.CellTimeout = *cellTimeout
 
 	w := os.Stdout
 	start := time.Now()
+	// failed accumulates every soundness or infrastructure failure; the
+	// run always reports everything it measured, then exits nonzero if
+	// anything went wrong (graceful degradation, audited exit path).
+	failed := false
 
 	needMatrix := map[string]bool{"all": true, "fig5": true, "fig6": true, "fig7": true, "squash": true, "power": true}
 	var m *experiments.Matrix
@@ -93,6 +104,13 @@ func main() {
 		fmt.Fprintf(w, "running §5.1 matrix: %d machines × workloads (uni %d instr, %d-way MP %d instr × %d samples)...\n",
 			len(experiments.MachineNames), cfg.UniInstr, cfg.MPCores, cfg.MPInstr, cfg.Samples)
 		m = experiments.Run(cfg, experiments.MachineNames)
+		if m.Resumed > 0 {
+			fmt.Fprintf(w, "resumed %d cell(s) from %s\n", m.Resumed, cfg.Checkpoint)
+		}
+		for _, f := range m.Failed {
+			fmt.Fprintf(os.Stderr, "FAILED %s\n", f)
+			failed = true
+		}
 	}
 
 	switch *which {
@@ -105,7 +123,14 @@ func main() {
 		experiments.Power(w, m)
 		experiments.Figure8(w, cfg)
 		experiments.RelatedWork(w, cfg)
-		experiments.LitmusMatrix(w, cfg)
+		if sum := experiments.LitmusMatrix(w, cfg); !sum.SoundOK || !sum.UnsoundCaught {
+			fmt.Fprintln(os.Stderr, "litmus battery failed")
+			failed = true
+		}
+		if sum := experiments.FaultMatrix(w, cfg); !sum.OK() {
+			fmt.Fprintln(os.Stderr, "fault-injection matrix failed")
+			failed = true
+		}
 	case "tables":
 		experiments.Tables(w)
 	case "fig5":
@@ -129,7 +154,11 @@ func main() {
 		}
 	case "litmus":
 		if sum := experiments.LitmusMatrix(w, cfg); !sum.SoundOK || !sum.UnsoundCaught {
-			os.Exit(1)
+			failed = true
+		}
+	case "faults":
+		if sum := experiments.FaultMatrix(w, cfg); !sum.OK() {
+			failed = true
 		}
 	case "bench":
 		rep := experiments.Bench(w, cfg)
@@ -145,4 +174,7 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(w, "\n[%s elapsed]\n", time.Since(start).Round(time.Millisecond))
+	if failed {
+		os.Exit(1)
+	}
 }

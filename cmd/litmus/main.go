@@ -10,8 +10,11 @@
 //	litmus -all -json                # machine-readable verdict matrix
 //
 // The exit status is nonzero when a sound configuration admitted an
-// SC-forbidden outcome (or cyclic constraint graph), or when the
-// deliberately unsound NUS-alone configuration escaped every test.
+// SC-forbidden outcome (or cyclic constraint graph), when the
+// deliberately unsound NUS-alone configuration escaped every test, when
+// any sweep cell failed outright (panic/timeout), or — under -fault
+// with filter-breaking kinds — when the checker failed to flag a single
+// sabotaged run.
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 	"strings"
 	"time"
 
+	"vbmo/internal/fault"
 	"vbmo/internal/litmus"
 )
 
@@ -38,6 +42,13 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit the verdict matrix as JSON instead of text")
 		oracle   = flag.Bool("oracle", false, "also print each test's SC-allowed outcome set")
 		quiet    = flag.Bool("q", false, "suppress per-cell progress lines")
+
+		faultKinds  = flag.String("fault", "", "inject faults: comma-separated kinds (see internal/fault) or \"all\" (empty = off)")
+		faultRate   = flag.Float64("fault-rate", 1.0, "per-opportunity fault probability (litmus programs are short; default every opportunity)")
+		faultSeed   = flag.Uint64("fault-seed", 0, "fault RNG seed (0 = derive from -seed)")
+		cellTimeout = flag.Duration("cell-timeout", 0, "per-cell wall-clock deadline (0 = none; nondeterministic)")
+		retries     = flag.Int("retries", 0, "re-attempts for a failed sweep cell")
+		resume      = flag.String("resume", "", "JSONL checkpoint journal; existing completed cells are replayed, not re-run")
 	)
 	flag.Parse()
 
@@ -105,21 +116,44 @@ func main() {
 		}
 	}
 
+	var fc *fault.Config
+	if *faultKinds != "" {
+		ks, err := fault.ParseKinds(*faultKinds)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fseed := *faultSeed
+		if fseed == 0 {
+			fseed = *seed ^ 0x9e3779b97f4a7c15
+		}
+		fc = &fault.Config{Kinds: ks, Rate: *faultRate, Seed: fseed}
+	}
+
 	opts := litmus.SweepOptions{
 		Tests: tests, Configs: cfgs,
 		Runs: *runs, Workers: *workers, Seed: *seed,
+		Fault: fc, Checkpoint: *resume, Retries: *retries, CellTimeout: *cellTimeout,
 	}
 	if !*jsonOut && !*quiet {
 		opts.Progress = func(done, total int, v litmus.Verdict) {
 			status := "ok"
-			if v.Sound && !v.Pass() {
+			if v.Error != "" {
+				status = "ERROR"
+			} else if v.Sound && !v.Pass() {
 				status = "FAIL"
 			} else if !v.Sound && v.Caught() {
 				status = "caught"
 			}
-			fmt.Printf("[%3d/%3d] %-10s × %-10s %d runs, %d outcomes, forbidden=%d cycles=%d incomplete=%d  %s\n",
+			line := fmt.Sprintf("[%3d/%3d] %-10s × %-10s %d runs, %d outcomes, forbidden=%d cycles=%d incomplete=%d",
 				done, total, v.Test, v.Config, v.Runs, len(v.Histogram),
-				v.Forbidden, v.Cycles, v.Incomplete, status)
+				v.Forbidden, v.Cycles, v.Incomplete)
+			if v.FaultInjected > 0 || v.FaultDropped > 0 || v.FaultSuppressed > 0 {
+				line += fmt.Sprintf(" faults=%d det=%d miss=%d drop=%d supp=%d",
+					v.FaultInjected, v.FaultDetected, v.FaultMissed,
+					v.FaultDropped, v.FaultSuppressed)
+			}
+			fmt.Printf("%s  %s\n", line, status)
 		}
 	}
 
@@ -161,16 +195,74 @@ func main() {
 			}
 			fmt.Println()
 		}
+		if fc != nil {
+			var inj, det, miss, drop, supp uint64
+			for _, v := range verdicts {
+				inj += v.FaultInjected
+				det += v.FaultDetected
+				miss += v.FaultMissed
+				drop += v.FaultDropped
+				supp += v.FaultSuppressed
+			}
+			fmt.Printf("faults: injected=%d detected=%d missed=%d dropped=%d suppressed=%d\n",
+				inj, det, miss, drop, supp)
+		}
 		fmt.Printf("[%s elapsed]\n", elapsed.Round(time.Millisecond))
 	}
 
-	// A sound-config violation always fails. The catch requirement on
-	// the unsound configuration is a battery-level contract: a single
-	// test legitimately escapes (MP never catches NUS-alone), so it is
-	// only enforced when the full battery ran.
-	if !sum.SoundOK || (*all && *testName == "" && !sum.UnsoundCaught) {
-		os.Exit(1)
+	// Exit-path audit: every failure mode maps to a nonzero exit.
+	exit := 0
+	// Infrastructure failures (panic, timeout, retries exhausted) are
+	// reported per-cell and fail the battery even when every completed
+	// cell looks clean.
+	if len(sum.Errors) > 0 {
+		for _, e := range sum.Errors {
+			fmt.Fprintf(os.Stderr, "ERROR %s\n", e)
+		}
+		exit = 1
 	}
+	if fc.Enabled() && faultBreaksSoundness(fc.Kinds) {
+		// Filter-breaking fault injection inverts the contract: the
+		// sound configurations are being sabotaged, so success means the
+		// checker FLAGGED sabotaged runs (forbidden outcome or cycle) —
+		// a fully "clean" matrix means the corruption escaped.
+		caught := 0
+		for _, v := range verdicts {
+			if v.Error == "" && v.Sound {
+				caught += v.Forbidden + v.Cycles
+			}
+		}
+		if caught == 0 {
+			fmt.Fprintln(os.Stderr, "FAULT ESCAPE: filter-breaking fault injection produced no flagged run; the checker missed the sabotage")
+			exit = 1
+		}
+	} else if fc == nil {
+		// A sound-config violation always fails. The catch requirement
+		// on the unsound configuration is a battery-level contract: a
+		// single test legitimately escapes (MP never catches NUS-alone),
+		// so it is only enforced when the full battery ran.
+		if !sum.SoundOK || (*all && *testName == "" && !sum.UnsoundCaught) {
+			exit = 1
+		}
+	}
+	if exit != 0 {
+		os.Exit(exit)
+	}
+}
+
+// faultBreaksSoundness reports whether any injected kind undermines the
+// replay filters' soundness argument (suppressed signals, lost
+// messages), as opposed to value corruptions replay is expected to
+// repair or delays the windowing is expected to absorb.
+func faultBreaksSoundness(kinds []fault.Kind) bool {
+	for _, k := range kinds {
+		switch k {
+		case fault.DropSnoop, fault.DropFill,
+			fault.SuppressNUS, fault.SuppressWindow, fault.SuppressRule3:
+			return true
+		}
+	}
+	return false
 }
 
 // printMatrix renders the verdict matrix as a test × config table. A

@@ -1,5 +1,9 @@
 // Command vbrsim runs one workload on one machine configuration and
 // prints its statistics.
+//
+// Exit codes: 0 success; 1 usage or infrastructure failure (including
+// failed sweep cells); 2 SC violation; 3 run ended before the commit
+// target; 4 watchdog deadlock; 5 an injected fault escaped detection.
 package main
 
 import (
@@ -13,6 +17,7 @@ import (
 	"time"
 
 	"vbmo/internal/config"
+	"vbmo/internal/fault"
 	"vbmo/internal/par"
 	"vbmo/internal/stats"
 	"vbmo/internal/system"
@@ -35,6 +40,15 @@ func main() {
 		verifySC = flag.Bool("sc", false, "verify sequential consistency with the constraint-graph checker")
 		jsonOut  = flag.Bool("json", false, "emit the end-of-run counters as a single JSON object instead of text")
 		verbose  = flag.Bool("v", false, "print detailed counters")
+
+		faultKinds  = flag.String("fault", "", "inject faults: comma-separated kinds (see internal/fault) or \"all\" (empty = off)")
+		faultRate   = flag.Float64("fault-rate", 0.001, "per-opportunity fault probability (1.0 = every opportunity)")
+		faultSeed   = flag.Uint64("fault-seed", 0, "fault RNG seed (0 = derive from -seed)")
+		faultDelay  = flag.Int64("fault-delay", 0, "base delay in cycles for delay-* kinds (0 = package default)")
+		wdCycles    = flag.Int64("watchdog-cycles", 0, "declare deadlock after N cycles with no commit on any core (0 = off)")
+		cellTimeout = flag.Duration("cell-timeout", 0, "per-cell wall-clock deadline for a -seeds sweep (0 = none; nondeterministic)")
+		retries     = flag.Int("retries", 0, "re-attempts for a failed sweep cell")
+		resume      = flag.String("resume", "", "JSONL checkpoint journal for a -seeds sweep; existing completed cells are replayed, not re-run")
 
 		traceOut    = flag.String("trace", "", "write the event trace to this file (- for stdout)")
 		traceFormat = flag.String("trace-format", "jsonl", "trace format: jsonl | chrome | ring")
@@ -104,6 +118,11 @@ func main() {
 			*machine, strings.Join(config.Names(), ", "))
 		os.Exit(1)
 	}
+	fc, err := faultConfig(*faultKinds, *faultRate, *faultSeed, *faultDelay, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	if *seeds > 1 {
 		if *traceOut != "" {
 			fmt.Fprintln(os.Stderr, "-trace is incompatible with -seeds > 1 (interleaved runs would share one event stream)")
@@ -117,8 +136,14 @@ func main() {
 			cores: *cores, insts: *insts, baseSeed: *seed, seeds: *seeds,
 			parallel: *parallel, workers: *workers,
 			verifySC: *verifySC, jsonOut: *jsonOut,
+			fault: fc, wdCycles: *wdCycles,
+			cellTimeout: *cellTimeout, retries: *retries, journal: *resume,
 		})
 		return
+	}
+	if *resume != "" || *cellTimeout != 0 || *retries != 0 {
+		fmt.Fprintln(os.Stderr, "-resume, -cell-timeout and -retries apply only to a -seeds sweep")
+		os.Exit(1)
 	}
 	// Trace plumbing: the chosen format's sink is teed with a counting
 	// sink so the end-of-run summary can report per-kind event totals.
@@ -180,12 +205,14 @@ func main() {
 	}
 
 	opt := system.Options{Cores: *cores, Seed: *seed, DMAInterval: 4000, DMABurst: 2,
-		TrackConsistency: *verifySC, Trace: tracer, SnapshotInterval: *snapEvery}
+		TrackConsistency: *verifySC, Trace: tracer, SnapshotInterval: *snapEvery,
+		Fault: fc, WatchdogCycles: *wdCycles}
 	s := system.New(cfg, work, opt)
 	start := time.Now()
 	res := s.Run(*insts, opt)
 	elapsed := time.Since(start)
 	p := res.Pipe
+	incomplete := p.Committed < *insts*uint64(*cores)
 	if !*jsonOut {
 		fmt.Println(res)
 		fmt.Printf("loads=%d stores=%d branches=%d mispredict=%.4f\n",
@@ -226,11 +253,16 @@ func main() {
 			}
 		}
 	}
+	if !*jsonOut && s.Faults != nil {
+		fmt.Println(s.Faults.Summary())
+		fmt.Printf("fault detection latency: %s\n", s.Faults.Lat.String())
+	}
 	if *jsonOut {
 		out := resultJSON(res, *seed, elapsed.Seconds())
 		if *verifySC {
 			out.SC = &scResult
 		}
+		attachDiagnostics(&out, s, incomplete)
 		enc := json.NewEncoder(os.Stdout)
 		if err := enc.Encode(out); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -269,12 +301,62 @@ func main() {
 				counts.Count(trace.KExtFill), counts.Count(trace.KGraphEdge))
 		}
 	}
-	if scViolation {
-		os.Exit(2)
-	}
 	if *verbose && !*jsonOut {
 		fmt.Print(res.Counters)
 	}
+	// Exit-path audit: every soundness failure is a nonzero exit, in
+	// severity order. An SC violation outranks everything; a watchdog
+	// deadlock outranks the incomplete-run it necessarily causes; a fault
+	// that escaped detection is reported even when the run completed.
+	switch {
+	case scViolation:
+		os.Exit(2)
+	case s.Deadlock != nil:
+		fmt.Fprintf(os.Stderr, "DEADLOCK:\n%s", s.Deadlock)
+		os.Exit(4)
+	case s.Faults != nil && s.Faults.Stats.Missed > 0:
+		fmt.Fprintf(os.Stderr, "FAULT MISS: %d injected fault(s) committed undetected (%s)\n",
+			s.Faults.Stats.Missed, s.Faults.Summary())
+		os.Exit(5)
+	case incomplete:
+		fmt.Fprintf(os.Stderr, "INCOMPLETE: committed %d of %d target instructions\n",
+			p.Committed, *insts*uint64(*cores))
+		os.Exit(3)
+	}
+}
+
+// faultConfig builds the injector configuration from the -fault* flags;
+// nil means injection is off. A zero fault seed derives one from the
+// simulation seed so distinct -seed runs draw distinct fault streams.
+func faultConfig(kinds string, rate float64, fseed uint64, delay int64, simSeed uint64) (*fault.Config, error) {
+	if kinds == "" {
+		return nil, nil
+	}
+	ks, err := fault.ParseKinds(kinds)
+	if err != nil {
+		return nil, err
+	}
+	if fseed == 0 {
+		fseed = simSeed ^ 0x9e3779b97f4a7c15
+	}
+	return &fault.Config{Kinds: ks, Rate: rate, Seed: fseed, Delay: delay}, nil
+}
+
+// attachDiagnostics copies the run's fault/watchdog/progress state onto
+// the JSON result; all fields stay omitted for a clean, feature-off run.
+func attachDiagnostics(out *jsonResult, s *system.System, incomplete bool) {
+	if s.Faults != nil {
+		st := s.Faults.Stats
+		out.Faults = &st
+		out.FaultLatMean = s.Faults.Lat.Mean()
+	}
+	if wd := s.Watchdog(); wd.Storms > 0 || wd.Throttles > 0 {
+		out.Watchdog = &wd
+	}
+	if s.Deadlock != nil {
+		out.DeadlockCycle = s.Deadlock.Cycle
+	}
+	out.Incomplete = incomplete
 }
 
 // jsonResult is the -json output shape: the end-of-run counters as one
@@ -295,6 +377,14 @@ type jsonResult struct {
 	Squashes   jsonSquashes      `json:"squashes"`
 	SC         *string           `json:"sc,omitempty"`
 	Counters   map[string]uint64 `json:"counters"`
+
+	// Diagnostics, all omitted for a clean run with faults off.
+	Faults        *fault.Stats          `json:"faults,omitempty"`
+	FaultLatMean  float64               `json:"fault_lat_mean,omitempty"`
+	Watchdog      *system.WatchdogStats `json:"watchdog,omitempty"`
+	DeadlockCycle int64                 `json:"deadlock_cycle,omitempty"`
+	Incomplete    bool                  `json:"incomplete,omitempty"`
+	Error         string                `json:"error,omitempty"`
 }
 
 type jsonSquashes struct {
@@ -346,6 +436,12 @@ type sweepOptions struct {
 	workers  int
 	verifySC bool
 	jsonOut  bool
+
+	fault       *fault.Config
+	wdCycles    int64
+	cellTimeout time.Duration
+	retries     int
+	journal     string
 }
 
 // runSeedSweep runs the workload once per seed across a worker pool
@@ -355,71 +451,177 @@ type sweepOptions struct {
 // cell derives its own seed, every number in it — is independent of
 // worker scheduling.
 func runSeedSweep(cfg config.Machine, work workload.Params, o sweepOptions) {
+	// seedRun is the journaled per-cell record: the full -json result
+	// plus the SC verdict bit, so a resumed cell replays bit-identically
+	// in both output modes without re-simulating.
 	type seedRun struct {
-		res     system.Result
-		elapsed float64
-		scText  string
-		scViol  bool
+		Out    jsonResult `json:"out"`
+		SCViol bool       `json:"sc_viol,omitempty"`
 	}
 	runs := make([]seedRun, o.seeds)
+	failed := make([]bool, o.seeds)
+	key := func(i int) string { return fmt.Sprintf("seed=%d", o.baseSeed+uint64(i)) }
+
+	var journal *par.Journal
+	resumed := 0
+	if o.journal != "" {
+		j, err := par.OpenJournal(o.journal, sweepFingerprint(cfg, work, o))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		journal = j
+		defer journal.Close()
+	}
+	todo := make([]int, 0, o.seeds)
+	for i := 0; i < o.seeds; i++ {
+		if journal != nil && journal.Lookup(key(i), &runs[i]) {
+			resumed++
+			continue
+		}
+		todo = append(todo, i)
+	}
+
 	workers := 1
 	if o.parallel {
 		workers = par.Workers(o.workers)
 	}
-	par.Run(workers, o.seeds, func(i int) {
+	failures := par.RunSafe(par.SafeOptions{
+		Workers: workers, Retries: o.retries, Backoff: 50 * time.Millisecond,
+		Timeout: o.cellTimeout,
+		Label:   func(t int) string { return key(todo[t]) },
+	}, len(todo), func(t int) error {
+		i := todo[t]
+		seed := o.baseSeed + uint64(i)
 		opt := system.Options{
-			Cores: o.cores, Seed: o.baseSeed + uint64(i),
+			Cores: o.cores, Seed: seed,
 			DMAInterval: 4000, DMABurst: 2,
 			TrackConsistency: o.verifySC,
+			WatchdogCycles:   o.wdCycles,
+		}
+		if o.fault.Enabled() {
+			// Each cell draws its own fault stream, derived from its seed
+			// the same way the litmus sweep derives per-run fault seeds.
+			d := *o.fault
+			d.Seed = o.fault.Seed ^ (seed * 0x2545f4914f6cdd1d)
+			opt.Fault = &d
 		}
 		s := system.New(cfg, work, opt)
 		start := time.Now()
-		runs[i].res = s.Run(o.insts, opt)
-		runs[i].elapsed = time.Since(start).Seconds()
+		res := s.Run(o.insts, opt)
+		r := seedRun{Out: resultJSON(res, seed, time.Since(start).Seconds())}
 		if o.verifySC {
 			op, cyc, g := s.CheckSC()
+			var scText string
 			if cyc {
-				runs[i].scText = fmt.Sprintf("violation: %s at proc %d op %d addr %#x", g, op.Proc, op.Index, op.Addr)
-				runs[i].scViol = true
+				scText = fmt.Sprintf("violation: %s at proc %d op %d addr %#x", g, op.Proc, op.Index, op.Addr)
+				r.SCViol = true
 			} else {
-				runs[i].scText = fmt.Sprintf("consistent (%s)", g)
+				scText = fmt.Sprintf("consistent (%s)", g)
+			}
+			r.Out.SC = &scText
+		}
+		attachDiagnostics(&r.Out, s, res.Pipe.Committed < o.insts*uint64(o.cores))
+		runs[i] = r
+		if journal != nil {
+			if err := journal.Record(key(i), r); err != nil {
+				return fmt.Errorf("checkpoint: %w", err)
 			}
 		}
+		return nil
 	})
+	for _, f := range failures {
+		// Remap to the original cell index; the slot may hold a
+		// straggler's partial write, so it is replaced wholesale and
+		// excluded from every fold below.
+		i := todo[f.Index]
+		failed[i] = true
+		runs[i] = seedRun{Out: jsonResult{
+			Machine: cfg.Name, Workload: work.Name, Cores: o.cores,
+			Seed: o.baseSeed + uint64(i), Error: f.String(),
+		}}
+	}
 
-	anyViolation := false
+	anyViolation, anyDeadlock, anyMissed, anyIncomplete := false, false, false, false
 	var ipc stats.Sample
 	enc := json.NewEncoder(os.Stdout)
 	for i := range runs {
 		r := &runs[i]
-		anyViolation = anyViolation || r.scViol
-		ipc.Observe(r.res.IPC)
+		if !failed[i] {
+			anyViolation = anyViolation || r.SCViol
+			anyDeadlock = anyDeadlock || r.Out.DeadlockCycle != 0
+			anyMissed = anyMissed || (r.Out.Faults != nil && r.Out.Faults.Missed > 0)
+			anyIncomplete = anyIncomplete || r.Out.Incomplete
+			ipc.Observe(r.Out.IPC)
+		}
 		if o.jsonOut {
-			out := resultJSON(r.res, o.baseSeed+uint64(i), r.elapsed)
-			if o.verifySC {
-				out.SC = &r.scText
-			}
-			if err := enc.Encode(out); err != nil {
+			if err := enc.Encode(r.Out); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
 			continue
 		}
-		p := r.res.Pipe
+		if failed[i] {
+			fmt.Printf("seed=%-6d FAILED: %s\n", o.baseSeed+uint64(i), r.Out.Error)
+			continue
+		}
+		p := &r.Out
 		fmt.Printf("seed=%-6d ipc=%.4f committed=%d cycles=%d replays=%d squashes=%d",
-			o.baseSeed+uint64(i), r.res.IPC, p.Committed, r.res.Cycles, p.ReplayAccesses,
-			p.SquashesMispredict+p.SquashesRAW+p.SquashesInval+p.SquashesReplayRAW+p.SquashesReplayCons)
+			o.baseSeed+uint64(i), p.IPC, p.Committed, p.Cycles, p.Replays,
+			p.Squashes.Mispredict+p.Squashes.RAWLQ+p.Squashes.InvalLQ+p.Squashes.ReplayRAW+p.Squashes.ReplayCons)
 		if o.verifySC {
-			fmt.Printf(" sc=%q", r.scText)
+			fmt.Printf(" sc=%q", *p.SC)
+		}
+		if p.Faults != nil {
+			fmt.Printf(" faults=%d/%d detected", p.Faults.Detected, p.Faults.Injected)
+		}
+		if p.DeadlockCycle != 0 {
+			fmt.Printf(" DEADLOCK@%d", p.DeadlockCycle)
 		}
 		fmt.Println()
 	}
 	if !o.jsonOut {
 		fmt.Printf("%d seeds: IPC %s\n", o.seeds, ipc.String())
+		if resumed > 0 {
+			fmt.Printf("resumed %d cell(s) from %s\n", resumed, o.journal)
+		}
 	}
-	if anyViolation {
+	for _, f := range failures {
+		fmt.Fprintf(os.Stderr, "FAILED %s\n", f)
+	}
+	// Graceful degradation: completed cells were all reported above;
+	// any soundness or infrastructure failure still exits nonzero.
+	switch {
+	case anyViolation:
 		os.Exit(2)
+	case anyDeadlock:
+		os.Exit(4)
+	case anyMissed:
+		os.Exit(5)
+	case anyIncomplete:
+		os.Exit(3)
+	case len(failures) > 0:
+		os.Exit(1)
 	}
+}
+
+// sweepFingerprint binds a checkpoint journal to every input that
+// shapes this sweep's cell results.
+func sweepFingerprint(cfg config.Machine, work workload.Params, o sweepOptions) string {
+	fp := fmt.Sprintf("vbrsim-v1|machine=%s|workload=%s|cores=%d|n=%d|base=%d|seeds=%d|sc=%t",
+		cfg.Name, work.Name, o.cores, o.insts, o.baseSeed, o.seeds, o.verifySC)
+	if o.fault.Enabled() {
+		kinds := make([]string, 0, len(o.fault.Kinds))
+		for _, k := range o.fault.Kinds {
+			kinds = append(kinds, k.String())
+		}
+		fp += fmt.Sprintf("|fault=%s@%g/%d/%d", strings.Join(kinds, "+"),
+			o.fault.Rate, o.fault.Seed, o.fault.Delay)
+	}
+	if o.wdCycles > 0 {
+		fp += fmt.Sprintf("|wd=%d", o.wdCycles)
+	}
+	return fp
 }
 
 func max64(a, b uint64) uint64 {

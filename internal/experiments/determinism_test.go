@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"os"
+	"path/filepath"
 	"reflect"
 	"testing"
 
@@ -48,6 +50,85 @@ func TestSweepDeterminism(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestCheckpointResumeDeterminism extends the determinism contract to
+// crash recovery: a matrix resumed from a partially-written checkpoint
+// journal (half the cells present, plus a torn trailing line as a kill
+// mid-fsync would leave) must be bit-identical to an uninterrupted run.
+func TestCheckpointResumeDeterminism(t *testing.T) {
+	cfg := Config{
+		UniInstr:  2000,
+		MPInstr:   600,
+		MPCores:   2,
+		Samples:   2,
+		Seed:      42,
+		Workloads: []string{"gzip", "radiosity"},
+		Parallel:  true,
+	}
+	machines := []string{"baseline", "replay-all"}
+
+	clean := Run(cfg, machines)
+
+	// Build a complete journal, then tear it: keep the header and half
+	// the cell records, append a truncated line.
+	journal := filepath.Join(t.TempDir(), "matrix.jsonl")
+	cfg.Checkpoint = journal
+	full := Run(cfg, machines)
+	if len(full.Failed) != 0 {
+		t.Fatalf("journaled run failed cells: %v", full.Failed)
+	}
+	raw, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := splitLines(raw)
+	if len(lines) < 4 {
+		t.Fatalf("journal too small to tear (%d lines)", len(lines))
+	}
+	keep := lines[:1+(len(lines)-1)/2]
+	torn := append([]byte{}, joinLines(keep)...)
+	torn = append(torn, []byte(`{"key":"torn","result":{"ip`)...)
+	if err := os.WriteFile(journal, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed := Run(cfg, machines)
+	if resumed.Resumed == 0 {
+		t.Fatal("nothing resumed from the torn journal")
+	}
+	if len(resumed.Failed) != 0 {
+		t.Fatalf("resumed run failed cells: %v", resumed.Failed)
+	}
+	for _, mc := range machines {
+		for _, w := range cfg.Workloads {
+			a, b := clean.Get(mc, w), resumed.Get(mc, w)
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("%s/%s: resumed matrix diverges from uninterrupted run:\n clean   %+v\n resumed %+v",
+					mc, w, a, b)
+			}
+		}
+	}
+}
+
+func splitLines(b []byte) [][]byte {
+	var out [][]byte
+	start := 0
+	for i, c := range b {
+		if c == '\n' {
+			out = append(out, b[start:i+1])
+			start = i + 1
+		}
+	}
+	return out
+}
+
+func joinLines(lines [][]byte) []byte {
+	var out []byte
+	for _, l := range lines {
+		out = append(out, l...)
+	}
+	return out
 }
 
 // TestRunRepeatable runs every registered machine twice with the same

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
+	"time"
 
 	"vbmo/internal/config"
 	"vbmo/internal/par"
@@ -43,6 +45,19 @@ type Config struct {
 	// LitmusRuns is the perturbed executions per litmus (test, config)
 	// cell in the litmus experiment.
 	LitmusRuns int
+	// Checkpoint, when non-empty, journals completed cells to this JSONL
+	// file as the matrix runs; re-running with the same path (and the
+	// same sweep inputs) resumes, replaying journaled cells instead of
+	// re-simulating them. Folds happen in canonical order from stored
+	// results, so a resumed matrix is bit-identical to an uninterrupted
+	// one.
+	Checkpoint string
+	// Retries re-attempts a failed (panicked) cell this many times.
+	Retries int
+	// CellTimeout, when positive, abandons a cell at this wall-clock
+	// deadline (reported in Matrix.Failed). Wall-clock deadlines are
+	// nondeterministic; leave 0 for reproducible sweeps.
+	CellTimeout time.Duration
 }
 
 // DefaultConfig returns the standard experiment scope.
@@ -109,6 +124,13 @@ type Point struct {
 type Matrix struct {
 	Cfg    Config
 	Points map[string]map[string]*Point
+	// Failed lists cells that did not complete (panicked past their
+	// retries, or timed out). Their observations are absent from Points;
+	// callers must treat a non-empty list as a degraded result.
+	Failed []par.Failure
+	// Resumed is how many cells were replayed from the checkpoint
+	// journal instead of simulated.
+	Resumed int
 }
 
 // Get returns the point for (machine, workload).
@@ -143,10 +165,20 @@ func (c Config) workloadSet() []workload.Params {
 // any order — and are folded into Points afterwards in canonical cell
 // order, so the Sample observation sequences (and therefore the whole
 // Matrix) are bit-identical between serial and parallel execution.
+// Fields are exported with JSON tags because the checkpoint journal
+// round-trips cells through encoding/json; Go's float64 encoding is
+// exact, so a journaled observation folds identically to a fresh one.
 type cellObs struct {
-	ipc, l1dTotal, replayAll, replayNUS float64
-	robOcc, committed, replays          float64
-	lqSearches, rawSquash, consSquash   float64
+	IPC        float64 `json:"ipc"`
+	L1DTotal   float64 `json:"l1d_total"`
+	ReplayAll  float64 `json:"replay_all"`
+	ReplayNUS  float64 `json:"replay_nus"`
+	ROBOcc     float64 `json:"rob_occ"`
+	Committed  float64 `json:"committed"`
+	Replays    float64 `json:"replays"`
+	LQSearches float64 `json:"lq_searches"`
+	RAWSquash  float64 `json:"raw_squash"`
+	ConsSquash float64 `json:"cons_squash"`
 }
 
 // measureCell executes one sample and returns its observations.
@@ -162,37 +194,37 @@ func measureCell(mc config.Machine, work workload.Params, cores int, instr uint6
 	s.ResetStats()
 	res := s.Run(instr, opt)
 	o := cellObs{
-		ipc:        res.IPC,
-		l1dTotal:   float64(res.Pipe.TotalL1DAccesses()),
-		replayAll:  float64(res.Pipe.ReplayAccesses),
-		replayNUS:  float64(res.Counters.Get("replay.replays_nus")),
-		robOcc:     res.Pipe.AvgROBOccupancy(), // already a per-core average
-		committed:  float64(res.Pipe.Committed),
-		replays:    float64(res.Pipe.ReplayAccesses),
-		lqSearches: float64(res.Counters.Get("lq.searches")),
+		IPC:        res.IPC,
+		L1DTotal:   float64(res.Pipe.TotalL1DAccesses()),
+		ReplayAll:  float64(res.Pipe.ReplayAccesses),
+		ReplayNUS:  float64(res.Counters.Get("replay.replays_nus")),
+		ROBOcc:     res.Pipe.AvgROBOccupancy(), // already a per-core average
+		Committed:  float64(res.Pipe.Committed),
+		Replays:    float64(res.Pipe.ReplayAccesses),
+		LQSearches: float64(res.Counters.Get("lq.searches")),
 	}
 	if mc.Scheme == config.ValueReplay {
-		o.rawSquash = float64(res.Pipe.SquashesReplayRAW)
-		o.consSquash = float64(res.Pipe.SquashesReplayCons)
+		o.RAWSquash = float64(res.Pipe.SquashesReplayRAW)
+		o.ConsSquash = float64(res.Pipe.SquashesReplayCons)
 	} else {
-		o.rawSquash = float64(res.Pipe.SquashesRAW)
-		o.consSquash = float64(res.Pipe.SquashesInval)
+		o.RAWSquash = float64(res.Pipe.SquashesRAW)
+		o.ConsSquash = float64(res.Pipe.SquashesInval)
 	}
 	return o
 }
 
 // foldCell appends one cell's observations to its point.
 func foldCell(pt *Point, o cellObs) {
-	pt.IPC.Observe(o.ipc)
-	pt.L1DTotal.Observe(o.l1dTotal)
-	pt.ReplayAll.Observe(o.replayAll)
-	pt.ReplayNUS.Observe(o.replayNUS)
-	pt.ROBOccupancy.Observe(o.robOcc)
-	pt.Committed.Observe(o.committed)
-	pt.Replays.Observe(o.replays)
-	pt.LQSearches.Observe(o.lqSearches)
-	pt.RAWSquash.Observe(o.rawSquash)
-	pt.ConsSquash.Observe(o.consSquash)
+	pt.IPC.Observe(o.IPC)
+	pt.L1DTotal.Observe(o.L1DTotal)
+	pt.ReplayAll.Observe(o.ReplayAll)
+	pt.ReplayNUS.Observe(o.ReplayNUS)
+	pt.ROBOccupancy.Observe(o.ROBOcc)
+	pt.Committed.Observe(o.Committed)
+	pt.Replays.Observe(o.Replays)
+	pt.LQSearches.Observe(o.LQSearches)
+	pt.RAWSquash.Observe(o.RAWSquash)
+	pt.ConsSquash.Observe(o.ConsSquash)
 }
 
 // Run computes the full §5.1 matrix: every machine × every selected
@@ -229,14 +261,55 @@ func Run(cfg Config, machines []string) *Matrix {
 	if cfg.Parallel {
 		workers = par.Workers(cfg.Workers)
 	}
+	key := func(c cell) string {
+		return fmt.Sprintf("%s|%s|cores=%d|instr=%d|seed=%d",
+			c.machine, c.work.Name, c.cores, c.instr, c.seed)
+	}
+	var journal *par.Journal
+	if cfg.Checkpoint != "" {
+		fp := fmt.Sprintf("experiments-v1|uni=%d|mp=%d|cores=%d|samples=%d|seed=%d|machines=%s",
+			cfg.UniInstr, cfg.MPInstr, cfg.MPCores, cfg.Samples, cfg.Seed,
+			strings.Join(machines, ","))
+		var err error
+		if journal, err = par.OpenJournal(cfg.Checkpoint, fp); err != nil {
+			panic(err) // a bad checkpoint path/fingerprint is a setup error
+		}
+		defer journal.Close()
+	}
 	obs := make([]cellObs, len(cells))
-	par.Run(workers, len(cells), func(i int) {
+	var todo []int
+	for i, c := range cells {
+		if journal != nil && journal.Lookup(key(c), &obs[i]) {
+			m.Resumed++
+			continue
+		}
+		todo = append(todo, i)
+	}
+	failures := par.RunSafe(par.SafeOptions{
+		Workers: workers, Retries: cfg.Retries, Timeout: cfg.CellTimeout,
+		Label: func(j int) string { return key(cells[todo[j]]) },
+	}, len(todo), func(j int) error {
+		i := todo[j]
 		c := cells[i]
 		obs[i] = measureCell(machineFor(c.machine), c.work, c.cores, c.instr, c.seed)
+		if journal != nil {
+			return journal.Record(key(c), obs[i])
+		}
+		return nil
 	})
+	// A timed-out straggler may still be writing its own obs slot; never
+	// read a failed cell's slot.
+	failedIdx := make(map[int]bool, len(failures))
+	for _, f := range failures {
+		f.Index = todo[f.Index]
+		failedIdx[f.Index] = true
+		m.Failed = append(m.Failed, f)
+	}
 	// Fold in canonical cell order, never in completion order.
 	for i, c := range cells {
-		foldCell(m.Points[c.machine][c.work.Name], obs[i])
+		if !failedIdx[i] {
+			foldCell(m.Points[c.machine][c.work.Name], obs[i])
+		}
 	}
 	return m
 }

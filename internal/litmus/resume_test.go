@@ -1,0 +1,105 @@
+package litmus
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"vbmo/internal/fault"
+)
+
+// sweepForResume is the shared scope: two tests, all configs, fault
+// injection on (so the fault counters are part of what must survive the
+// journal round trip).
+func resumeOpts(t *testing.T, checkpoint string) SweepOptions {
+	t.Helper()
+	var tests []*Test
+	for _, name := range []string{"SB", "MP"} {
+		tt, ok := ByName(name)
+		if !ok {
+			t.Fatalf("no test %s", name)
+		}
+		tests = append(tests, tt)
+	}
+	return SweepOptions{
+		Tests: tests, Configs: Configs(),
+		Runs: 40, Workers: 4, Seed: 1,
+		Fault: &fault.Config{
+			Kinds: []fault.Kind{fault.LoadValue},
+			Rate:  0.05, Seed: 11,
+		},
+		Checkpoint: checkpoint,
+	}
+}
+
+// TestSweepResumeDeterminism: verdicts from a sweep resumed off a
+// partially-written journal must be bit-identical to an uninterrupted
+// sweep, fault counters included.
+func TestSweepResumeDeterminism(t *testing.T) {
+	clean := Sweep(resumeOpts(t, ""))
+
+	journal := filepath.Join(t.TempDir(), "litmus.jsonl")
+	full := Sweep(resumeOpts(t, journal))
+	if !reflect.DeepEqual(clean, full) {
+		t.Fatal("journaled sweep diverges from plain sweep")
+	}
+
+	// Tear the journal: header + first third of the records, then a
+	// torn trailing line.
+	raw, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines [][]byte
+	start := 0
+	for i, c := range raw {
+		if c == '\n' {
+			lines = append(lines, raw[start:i+1])
+			start = i + 1
+		}
+	}
+	if len(lines) < 4 {
+		t.Fatalf("journal too small to tear (%d lines)", len(lines))
+	}
+	var torn []byte
+	for _, l := range lines[:1+(len(lines)-1)/3] {
+		torn = append(torn, l...)
+	}
+	torn = append(torn, []byte(`{"key":"torn"`)...)
+	if err := os.WriteFile(journal, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed := Sweep(resumeOpts(t, journal))
+	if !reflect.DeepEqual(clean, resumed) {
+		for i := range clean {
+			if !reflect.DeepEqual(clean[i], resumed[i]) {
+				t.Errorf("verdict %d diverges:\n clean   %+v\n resumed %+v", i, clean[i], resumed[i])
+			}
+		}
+		t.Fatal("resumed sweep diverges from uninterrupted sweep")
+	}
+}
+
+// TestSweepFaultSeedIsolation: the same sweep with a different fault
+// seed must (at this rate) interfere differently, proving per-run fault
+// streams actually derive from the configured seed rather than being
+// shared or ignored.
+func TestSweepFaultSeedIsolation(t *testing.T) {
+	a := Sweep(resumeOpts(t, ""))
+	o := resumeOpts(t, "")
+	o.Fault.Seed = 999
+	b := Sweep(o)
+	var ia, ib uint64
+	for i := range a {
+		ia += a[i].FaultInjected
+		ib += b[i].FaultInjected
+	}
+	if ia == 0 || ib == 0 {
+		t.Fatalf("no injections (a=%d b=%d)", ia, ib)
+	}
+	if reflect.DeepEqual(a, b) {
+		t.Fatal("different fault seeds produced identical sweeps")
+	}
+}

@@ -10,13 +10,17 @@
 package litmus
 
 import (
+	"fmt"
 	"sort"
+	"strings"
 	"sync"
+	"time"
 
 	"vbmo/internal/cache"
 	"vbmo/internal/config"
 	"vbmo/internal/consistency"
 	"vbmo/internal/core"
+	"vbmo/internal/fault"
 	"vbmo/internal/par"
 	"vbmo/internal/system"
 	"vbmo/internal/trace"
@@ -145,12 +149,23 @@ type RunResult struct {
 	// committed streams contains a cycle (the checker's independent
 	// verdict on the same execution).
 	Cycle bool
+	// Faults is the injector's accounting when the run was fault-injected
+	// (zero otherwise).
+	Faults fault.Stats
 }
 
 // RunOne executes one litmus test once on one machine with the
 // perturbation derived from seed, classifies the outcome against the
 // oracle, and cross-checks the run with the constraint-graph checker.
 func RunOne(mc config.Machine, t *Test, as *AllowedSet, seed uint64, tr *trace.Tracer) RunResult {
+	return RunOneFault(mc, t, as, seed, tr, nil)
+}
+
+// RunOneFault is RunOne under fault injection: fc (when enabled) is
+// instantiated with a per-run derived seed so every run of a sweep cell
+// draws an independent, reproducible fault stream. A nil fc is exactly
+// RunOne.
+func RunOneFault(mc config.Machine, t *Test, as *AllowedSet, seed uint64, tr *trace.Tracer, fc *fault.Config) RunResult {
 	r := &rng{s: seed * 0x2545f4914f6cdd1d}
 	var p Perturb
 	if seed == 0 {
@@ -168,6 +183,13 @@ func RunOne(mc config.Machine, t *Test, as *AllowedSet, seed uint64, tr *trace.T
 		DMAInterval:      p.DMAInterval,
 		DMABurst:         2,
 		Trace:            tr,
+	}
+	if fc.Enabled() {
+		// Derive a per-run fault seed so runs stay independent but any
+		// single (seed, fault seed) pair replays exactly.
+		derived := *fc
+		derived.Seed = fc.Seed ^ (seed * 0x2545f4914f6cdd1d)
+		opt.Fault = &derived
 	}
 	// The probe hook needs the system, which needs the options: close
 	// over a slot filled in after NewCustom.
@@ -200,6 +222,9 @@ func RunOne(mc config.Machine, t *Test, as *AllowedSet, seed uint64, tr *trace.T
 		OK:      ok,
 		Allowed: as.Contains(out),
 		Weak:    t.Weak != nil && t.Weak(out),
+	}
+	if s.Faults != nil {
+		res.Faults = s.Faults.Stats
 	}
 	if ok {
 		// Rebuild the constraint graph with the litmus background (the
@@ -255,6 +280,19 @@ type Verdict struct {
 	// Incomplete counts runs that hit the cycle bound before every test
 	// load committed (excluded from the histogram and classification).
 	Incomplete int `json:"incomplete"`
+	// Fault accounting, summed over the cell's runs (zero without -fault):
+	// value corruptions injected/caught/escaped, messages dropped or
+	// delayed, filter signals suppressed.
+	FaultInjected   uint64 `json:"fault_injected,omitempty"`
+	FaultDetected   uint64 `json:"fault_detected,omitempty"`
+	FaultMissed     uint64 `json:"fault_missed,omitempty"`
+	FaultDropped    uint64 `json:"fault_dropped,omitempty"`
+	FaultDelayed    uint64 `json:"fault_delayed,omitempty"`
+	FaultSuppressed uint64 `json:"fault_suppressed,omitempty"`
+	// Error is non-empty when the cell itself failed to run (worker
+	// panic past its retries, or wall-clock timeout): an infrastructure
+	// failure, distinct from a soundness verdict.
+	Error string `json:"error,omitempty"`
 }
 
 // Pass reports the cell's verdict: a sound configuration passes when
@@ -303,6 +341,19 @@ type SweepOptions struct {
 	Seed uint64
 	// Progress, when non-nil, is called after each finished cell.
 	Progress func(done, total int, v Verdict)
+	// Fault, when enabled, injects faults into every run (per-run
+	// derived seeds; see RunOneFault).
+	Fault *fault.Config
+	// Checkpoint, when non-empty, journals completed cells to this JSONL
+	// file; re-running with the same path resumes, replaying journaled
+	// cells bit-identically instead of re-simulating them.
+	Checkpoint string
+	// Retries re-attempts a panicked cell this many times.
+	Retries int
+	// CellTimeout, when positive, abandons a cell at this wall-clock
+	// deadline (its verdict carries Error). Nondeterministic; leave 0
+	// for reproducible sweeps.
+	CellTimeout time.Duration
 }
 
 // Sweep runs the battery across the machine set in a bounded worker
@@ -331,10 +382,72 @@ func Sweep(o SweepOptions) []Verdict {
 		allowed[i] = Allowed(t)
 	}
 
+	faultKey := ""
+	if o.Fault.Enabled() {
+		kinds := make([]string, len(o.Fault.Kinds))
+		for i, k := range o.Fault.Kinds {
+			kinds[i] = k.String()
+		}
+		faultKey = fmt.Sprintf("|fault=%s@%g/%d", strings.Join(kinds, ","), o.Fault.Rate, o.Fault.Seed)
+	}
+	cellKey := func(ti, ci int) string {
+		return fmt.Sprintf("%s|%s|runs=%d|seed=%d%s",
+			tests[ti].Name, cfgs[ci].Name, runs, o.Seed, faultKey)
+	}
+	var journal *par.Journal
+	if o.Checkpoint != "" {
+		names := make([]string, 0, len(tests)+len(cfgs))
+		for _, t := range tests {
+			names = append(names, t.Name)
+		}
+		for _, c := range cfgs {
+			names = append(names, c.Name)
+		}
+		fp := fmt.Sprintf("litmus-v1|runs=%d|seed=%d|%s%s",
+			runs, o.Seed, strings.Join(names, ","), faultKey)
+		var err error
+		if journal, err = par.OpenJournal(o.Checkpoint, fp); err != nil {
+			panic(err) // a bad checkpoint path/fingerprint is a setup error
+		}
+		defer journal.Close()
+	}
+
 	verdicts := make([]Verdict, len(tests)*len(cfgs))
 	var done int
 	var mu sync.Mutex
-	par.Run(o.Workers, len(verdicts), func(cell int) {
+	// abandoned marks cells the sweep gave up on (timeout): a straggler
+	// goroutine that finishes later must not write its verdict slot.
+	abandoned := make([]bool, len(verdicts))
+	finish := func(cell int, v Verdict) {
+		mu.Lock()
+		defer mu.Unlock()
+		if abandoned[cell] {
+			return
+		}
+		verdicts[cell] = v
+		done++
+		if o.Progress != nil {
+			o.Progress(done, len(verdicts), v)
+		}
+	}
+	var todo []int
+	for cell := range verdicts {
+		ti, ci := cell/len(cfgs), cell%len(cfgs)
+		var v Verdict
+		if journal != nil && journal.Lookup(cellKey(ti, ci), &v) {
+			finish(cell, v)
+			continue
+		}
+		todo = append(todo, cell)
+	}
+	failures := par.RunSafe(par.SafeOptions{
+		Workers: o.Workers, Retries: o.Retries, Timeout: o.CellTimeout,
+		Label: func(j int) string {
+			cell := todo[j]
+			return cellKey(cell/len(cfgs), cell%len(cfgs))
+		},
+	}, len(todo), func(j int) error {
+		cell := todo[j]
 		ti, ci := cell/len(cfgs), cell%len(cfgs)
 		t, cfg := tests[ti], cfgs[ci]
 		v := Verdict{
@@ -345,30 +458,47 @@ func Sweep(o SweepOptions) []Verdict {
 		// keeping run i of a cell reproducible in isolation.
 		base := o.Seed ^ (uint64(ti)<<40 | uint64(ci)<<32)
 		for i := 0; i < runs; i++ {
-			res := RunOne(cfg.Machine, t, allowed[ti], base+uint64(i), nil)
-			if !res.OK {
+			res := RunOneFault(cfg.Machine, t, allowed[ti], base+uint64(i), nil, o.Fault)
+			if res.OK {
+				v.Histogram[res.Key]++
+				if !res.Allowed {
+					v.Forbidden++
+				}
+				if res.Weak {
+					v.WeakHits++
+				}
+				if res.Cycle {
+					v.Cycles++
+				}
+			} else {
 				v.Incomplete++
-				continue
 			}
-			v.Histogram[res.Key]++
-			if !res.Allowed {
-				v.Forbidden++
-			}
-			if res.Weak {
-				v.WeakHits++
-			}
-			if res.Cycle {
-				v.Cycles++
+			v.FaultInjected += res.Faults.Injected
+			v.FaultDetected += res.Faults.Detected
+			v.FaultMissed += res.Faults.Missed
+			v.FaultDropped += res.Faults.Dropped
+			v.FaultDelayed += res.Faults.Delayed
+			v.FaultSuppressed += res.Faults.Suppressed
+		}
+		if journal != nil {
+			if err := journal.Record(cellKey(ti, ci), v); err != nil {
+				return err
 			}
 		}
-		verdicts[cell] = v
-		mu.Lock()
-		done++
-		if o.Progress != nil {
-			o.Progress(done, len(verdicts), v)
-		}
-		mu.Unlock()
+		finish(cell, v)
+		return nil
 	})
+	mu.Lock()
+	for _, f := range failures {
+		cell := todo[f.Index]
+		ti, ci := cell/len(cfgs), cell%len(cfgs)
+		abandoned[cell] = true
+		verdicts[cell] = Verdict{
+			Test: tests[ti].Name, Config: cfgs[ci].Name,
+			Sound: cfgs[ci].Sound, Runs: runs, Error: f.String(),
+		}
+	}
+	mu.Unlock()
 	return verdicts
 }
 
@@ -383,6 +513,10 @@ type Summary struct {
 	FailedCells []string `json:"failed_cells,omitempty"`
 	// CaughtBy lists unsound-config cells that observed a violation.
 	CaughtBy []string `json:"caught_by,omitempty"`
+	// Errors lists cells that did not run to completion (worker panic or
+	// timeout) — infrastructure failures; the battery verdict cannot be
+	// trusted until they are rerun, so callers must exit nonzero.
+	Errors []string `json:"errors,omitempty"`
 }
 
 // Summarize computes the battery-level verdict: all sound cells clean,
@@ -391,6 +525,10 @@ func Summarize(vs []Verdict) Summary {
 	sum := Summary{SoundOK: true}
 	unsound := make(map[string]bool) // config name -> caught
 	for _, v := range vs {
+		if v.Error != "" {
+			sum.Errors = append(sum.Errors, v.Test+"/"+v.Config+": "+v.Error)
+			continue
+		}
 		if v.Sound {
 			if !v.Pass() {
 				sum.SoundOK = false

@@ -1,0 +1,164 @@
+package par
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Journal is a JSONL checkpoint for sweeps: one header line binding the
+// file to a sweep fingerprint, then one line per completed cell
+// ({"key":..., "result":...}), appended and fsynced as cells finish. A
+// sweep killed mid-run leaves at worst one truncated trailing line,
+// which reopening tolerates; -resume then replays completed cells from
+// the journal instead of re-simulating them. Results round-trip through
+// encoding/json, whose float64 encoding is exact (shortest-form), so a
+// resumed sweep's folds are bit-identical to an uninterrupted run's.
+type Journal struct {
+	mu     sync.Mutex
+	f      *os.File
+	closed bool
+	done   map[string]json.RawMessage
+}
+
+// journalLine is one cell record on disk.
+type journalLine struct {
+	Key    string          `json:"key"`
+	Result json.RawMessage `json:"result"`
+}
+
+// journalHeader is the first line of the file.
+type journalHeader struct {
+	Fingerprint string `json:"fingerprint"`
+}
+
+// OpenJournal opens (or creates) the checkpoint at path. fingerprint
+// must capture every input that shapes cell results (config, machine
+// set, seeds, code-visible versions); a journal whose header carries a
+// different fingerprint belongs to a different sweep and is discarded
+// with an error rather than silently mixed in.
+func OpenJournal(path, fingerprint string) (*Journal, error) {
+	j := &Journal{done: make(map[string]json.RawMessage)}
+	// validLen is how many leading bytes of the existing file hold intact
+	// lines; everything after (a truncated tail from a killed run, or an
+	// unparsable record) is cut before appending resumes.
+	validLen := int64(0)
+	if raw, err := os.ReadFile(path); err == nil && len(raw) > 0 {
+		rest := raw
+		first := true
+		for {
+			idx := bytes.IndexByte(rest, '\n')
+			if idx < 0 {
+				break // partial trailing line: discard
+			}
+			line := rest[:idx]
+			if first {
+				first = false
+				var h journalHeader
+				if err := json.Unmarshal(line, &h); err != nil || h.Fingerprint == "" {
+					return nil, fmt.Errorf("par: %s is not a sweep journal", path)
+				}
+				if h.Fingerprint != fingerprint {
+					return nil, fmt.Errorf("par: journal %s belongs to a different sweep (fingerprint %q, want %q)",
+						path, h.Fingerprint, fingerprint)
+				}
+			} else {
+				var l journalLine
+				if err := json.Unmarshal(line, &l); err != nil {
+					break
+				}
+				j.done[l.Key] = l.Result
+			}
+			validLen += int64(idx) + 1
+			rest = rest[idx+1:]
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	j.f = f
+	if err := f.Truncate(validLen); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(validLen, 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if validLen == 0 {
+		hdr, _ := json.Marshal(journalHeader{Fingerprint: fingerprint})
+		if _, err := f.Write(append(hdr, '\n')); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return j, nil
+}
+
+// Done returns how many completed cells the journal holds.
+func (j *Journal) Done() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.done)
+}
+
+// Lookup unmarshals the stored result for key into out, reporting
+// whether the cell was found.
+func (j *Journal) Lookup(key string, out any) bool {
+	j.mu.Lock()
+	raw, ok := j.done[key]
+	j.mu.Unlock()
+	if !ok {
+		return false
+	}
+	return json.Unmarshal(raw, out) == nil
+}
+
+// Record appends one completed cell and fsyncs. Safe for concurrent
+// workers; calls after Close are dropped (a timed-out straggler may
+// finish after the sweep gave up on it).
+func (j *Journal) Record(key string, result any) error {
+	raw, err := json.Marshal(result)
+	if err != nil {
+		return err
+	}
+	line, err := json.Marshal(journalLine{Key: key, Result: raw})
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	if _, ok := j.done[key]; ok {
+		return nil
+	}
+	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.done[key] = raw
+	return nil
+}
+
+// Close flushes and closes the journal file. Further Records are
+// silently dropped.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	return j.f.Close()
+}

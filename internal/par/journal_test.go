@@ -1,0 +1,147 @@
+package par
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+type cellResult struct {
+	IPC   float64 `json:"ipc"`
+	Count uint64  `json:"count"`
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	j, err := OpenJournal(path, "fp-v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cellResult{IPC: 1.0 / 3.0, Count: 42} // non-terminating float: exactness matters
+	if err := j.Record("cell-a", want); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(path, "fp-v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Done() != 1 {
+		t.Fatalf("done %d, want 1", j2.Done())
+	}
+	var got cellResult
+	if !j2.Lookup("cell-a", &got) {
+		t.Fatal("cell-a not found")
+	}
+	if got != want {
+		t.Fatalf("round trip %+v != %+v (float must be bit-exact)", got, want)
+	}
+	if j2.Lookup("cell-b", &got) {
+		t.Fatal("phantom cell")
+	}
+}
+
+func TestJournalFingerprintMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	j, err := OpenJournal(path, "fp-v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if _, err := OpenJournal(path, "fp-v2"); err == nil || !strings.Contains(err.Error(), "different sweep") {
+		t.Fatalf("want fingerprint mismatch, got %v", err)
+	}
+}
+
+func TestJournalNotAJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "random.txt")
+	if err := os.WriteFile(path, []byte("hello world\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenJournal(path, "fp-v1"); err == nil {
+		t.Fatal("want error for non-journal file")
+	}
+}
+
+func TestJournalPartialTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	j, err := OpenJournal(path, "fp-v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Record("cell-a", cellResult{IPC: 1, Count: 1})
+	j.Record("cell-b", cellResult{IPC: 2, Count: 2})
+	j.Close()
+
+	// Simulate a crash mid-write: append half a record.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"key":"cell-c","result":{"ip`)
+	f.Close()
+
+	j2, err := OpenJournal(path, "fp-v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.Done() != 2 {
+		t.Fatalf("done %d, want 2 (partial tail dropped)", j2.Done())
+	}
+	// The truncated tail must be gone so new records append cleanly.
+	if err := j2.Record("cell-c", cellResult{IPC: 3, Count: 3}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+
+	j3, err := OpenJournal(path, "fp-v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	var got cellResult
+	if j3.Done() != 3 || !j3.Lookup("cell-c", &got) || got.Count != 3 {
+		t.Fatalf("healed journal: done=%d got=%+v", j3.Done(), got)
+	}
+}
+
+func TestJournalRecordAfterCloseDropped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	j, err := OpenJournal(path, "fp-v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	// A timed-out straggler finishing late must not crash or write.
+	if err := j.Record("late", cellResult{}); err != nil {
+		t.Fatalf("record after close: %v", err)
+	}
+	j2, err := OpenJournal(path, "fp-v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Done() != 0 {
+		t.Fatal("late record must be dropped")
+	}
+}
+
+func TestJournalDuplicateKeyKeepsFirst(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	j, err := OpenJournal(path, "fp-v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	j.Record("cell-a", cellResult{Count: 1})
+	j.Record("cell-a", cellResult{Count: 2})
+	var got cellResult
+	if !j.Lookup("cell-a", &got) || got.Count != 1 {
+		t.Fatalf("got %+v, want first record", got)
+	}
+}

@@ -1,0 +1,153 @@
+package par
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Failure records one sweep cell that did not complete. The Label is
+// the cell's identity in the caller's vocabulary ("machine=X
+// workload=Y sample=3"), so a crash deep inside a worker is reportable
+// without reconstructing the index mapping.
+type Failure struct {
+	// Index is the cell's position in [0, n).
+	Index int `json:"index"`
+	// Label is the caller-supplied cell identity.
+	Label string `json:"label"`
+	// Err is the final error (or recovered panic) message.
+	Err string `json:"err"`
+	// Stack is the goroutine stack at the final panic ("" for plain
+	// errors and timeouts).
+	Stack string `json:"stack,omitempty"`
+	// Attempts is how many times the cell ran (1 + retries used).
+	Attempts int `json:"attempts"`
+	// TimedOut marks a cell abandoned at its wall-clock deadline.
+	TimedOut bool `json:"timed_out,omitempty"`
+}
+
+func (f Failure) String() string {
+	s := fmt.Sprintf("cell %d (%s): %s [attempts=%d", f.Index, f.Label, f.Err, f.Attempts)
+	if f.TimedOut {
+		s += " timed-out"
+	}
+	return s + "]"
+}
+
+// SafeOptions configure RunSafe.
+type SafeOptions struct {
+	// Workers as in Run/Workers.
+	Workers int
+	// Retries is how many times a failed cell is re-attempted (0 = run
+	// once). Retries are for transient host-level trouble; a
+	// deterministic panic will fail every attempt and land in Failures
+	// with the attempt count.
+	Retries int
+	// Backoff is the sleep before the first retry, doubling per attempt
+	// (0 = retry immediately).
+	Backoff time.Duration
+	// Timeout, when positive, is each attempt's wall-clock deadline. An
+	// attempt that overruns is abandoned: its goroutine keeps running
+	// (Go cannot kill it) but RunSafe moves on; the straggler's writes
+	// land only in its own result slot, which the caller must treat as
+	// failed (it is listed in Failures). Wall-clock deadlines are
+	// inherently nondeterministic — leave 0 for reproducible sweeps.
+	Timeout time.Duration
+	// Label names cell i for failure reports (nil = "cell <i>").
+	Label func(i int) string
+}
+
+// RunSafe is Run with per-cell panic recovery, bounded retry, and
+// optional wall-clock deadlines: the resilient sweep driver. fn(i) runs
+// for every i in [0, n); a panic or returned error fails the attempt; a
+// cell that exhausts its attempts is reported in the returned slice
+// (sorted by index) instead of taking down the process. An empty slice
+// means every cell completed.
+func RunSafe(o SafeOptions, n int, fn func(int) error) []Failure {
+	if n <= 0 {
+		return nil
+	}
+	var mu sync.Mutex
+	var failures []Failure
+	Run(o.Workers, n, func(i int) {
+		if f := runCell(o, i, fn); f != nil {
+			mu.Lock()
+			failures = append(failures, *f)
+			mu.Unlock()
+		}
+	})
+	sort.Slice(failures, func(a, b int) bool { return failures[a].Index < failures[b].Index })
+	return failures
+}
+
+// runCell drives one cell through its attempts; nil means success.
+func runCell(o SafeOptions, i int, fn func(int) error) *Failure {
+	var last Failure
+	backoff := o.Backoff
+	for attempt := 1; ; attempt++ {
+		err, stack, timedOut := attemptCell(o.Timeout, i, fn)
+		if err == nil {
+			return nil
+		}
+		last = Failure{
+			Index: i, Label: cellLabel(o.Label, i), Err: err.Error(),
+			Stack: stack, Attempts: attempt, TimedOut: timedOut,
+		}
+		if attempt > o.Retries {
+			return &last
+		}
+		if timedOut {
+			// The attempt's goroutine is still running; re-running the
+			// same cell concurrently would race on its result slot.
+			return &last
+		}
+		if backoff > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+	}
+}
+
+func cellLabel(label func(int) string, i int) string {
+	if label != nil {
+		return label(i)
+	}
+	return fmt.Sprintf("cell %d", i)
+}
+
+// attemptCell runs one attempt with panic recovery and an optional
+// deadline.
+func attemptCell(timeout time.Duration, i int, fn func(int) error) (err error, stack string, timedOut bool) {
+	run := func() (err error, stack string) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("panic: %v", r)
+				stack = string(debug.Stack())
+			}
+		}()
+		return fn(i), ""
+	}
+	if timeout <= 0 {
+		err, stack = run()
+		return err, stack, false
+	}
+	type outcome struct {
+		err   error
+		stack string
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		e, st := run()
+		ch <- outcome{e, st}
+	}()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case out := <-ch:
+		return out.err, out.stack, false
+	case <-timer.C:
+		return fmt.Errorf("deadline exceeded (%s)", timeout), "", true
+	}
+}

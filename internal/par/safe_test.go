@@ -1,0 +1,104 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunSafeAllSucceed(t *testing.T) {
+	var n atomic.Int64
+	fails := RunSafe(SafeOptions{Workers: 4}, 100, func(i int) error {
+		n.Add(1)
+		return nil
+	})
+	if len(fails) != 0 {
+		t.Fatalf("failures: %v", fails)
+	}
+	if n.Load() != 100 {
+		t.Fatalf("ran %d cells, want 100", n.Load())
+	}
+}
+
+func TestRunSafePanicRecoveryWithIdentity(t *testing.T) {
+	fails := RunSafe(SafeOptions{
+		Workers: 4,
+		Label:   func(i int) string { return fmt.Sprintf("machine=m%d", i) },
+	}, 10, func(i int) error {
+		if i == 3 || i == 7 {
+			panic(fmt.Sprintf("boom %d", i))
+		}
+		return nil
+	})
+	if len(fails) != 2 {
+		t.Fatalf("got %d failures, want 2: %v", len(fails), fails)
+	}
+	// Sorted by index, carrying the caller's label and the stack.
+	if fails[0].Index != 3 || fails[1].Index != 7 {
+		t.Fatalf("indices %d,%d", fails[0].Index, fails[1].Index)
+	}
+	if fails[0].Label != "machine=m3" {
+		t.Fatalf("label %q", fails[0].Label)
+	}
+	if !strings.Contains(fails[0].Err, "boom 3") {
+		t.Fatalf("err %q", fails[0].Err)
+	}
+	if fails[0].Stack == "" {
+		t.Fatal("panic failure must carry a stack")
+	}
+	if !strings.Contains(fails[0].String(), "machine=m3") {
+		t.Fatalf("String() %q", fails[0].String())
+	}
+}
+
+func TestRunSafeRetries(t *testing.T) {
+	var attempts atomic.Int64
+	fails := RunSafe(SafeOptions{Workers: 1, Retries: 2}, 1, func(i int) error {
+		if attempts.Add(1) < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if len(fails) != 0 {
+		t.Fatalf("failures after retries: %v", fails)
+	}
+	if attempts.Load() != 3 {
+		t.Fatalf("attempts %d, want 3", attempts.Load())
+	}
+
+	attempts.Store(0)
+	fails = RunSafe(SafeOptions{Workers: 1, Retries: 2}, 1, func(i int) error {
+		attempts.Add(1)
+		return errors.New("permanent")
+	})
+	if len(fails) != 1 || fails[0].Attempts != 3 {
+		t.Fatalf("want 1 failure after 3 attempts: %v", fails)
+	}
+}
+
+func TestRunSafeTimeout(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	fails := RunSafe(SafeOptions{
+		Workers: 2, Timeout: 20 * time.Millisecond,
+		Retries: 5, // must NOT retry a timed-out cell
+	}, 2, func(i int) error {
+		if i == 1 {
+			<-release // hangs past the deadline
+		}
+		return nil
+	})
+	if len(fails) != 1 {
+		t.Fatalf("got %v", fails)
+	}
+	f := fails[0]
+	if f.Index != 1 || !f.TimedOut || f.Attempts != 1 {
+		t.Fatalf("failure %+v", f)
+	}
+	if !strings.Contains(f.String(), "timed-out") {
+		t.Fatalf("String() %q", f.String())
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"vbmo/internal/consistency"
 	"vbmo/internal/core"
 	"vbmo/internal/deppred"
+	"vbmo/internal/fault"
 	"vbmo/internal/isa"
 	"vbmo/internal/lsq"
 	"vbmo/internal/prog"
@@ -85,6 +86,13 @@ type Core struct {
 	// (DESIGN.md §6). Every emission site is guarded by one nil check so
 	// the disabled path costs nothing; set it with SetTracer.
 	trace *trace.Tracer
+
+	// flt, when non-nil, is the adversarial fault injector (DESIGN.md
+	// §10): it corrupts premature load values, suppresses filter
+	// signals, and tracks each injection to its detection or escape.
+	// Same contract as trace: every hook site is one nil check, so a
+	// run without faults is bit-identical to an uninstrumented one.
+	flt *fault.Injector
 
 	Stats Stats
 }
@@ -401,6 +409,11 @@ func (c *Core) commit() {
 			if e.valuePredicted {
 				c.Stats.ValuePredictedCommitted++
 			}
+			if c.flt != nil {
+				// An injection still unresolved here escaped every check:
+				// the corrupted value just became architectural.
+				c.flt.OnLoadCommit(c.ID, e.tag, c.cycle)
+			}
 			c.Stats.CommittedLoads++
 		}
 		if e.isBranch {
@@ -561,6 +574,9 @@ func (c *Core) replayStage() {
 			// dependences incorrectly (or a value prediction was
 			// wrong). The load keeps the correct (replayed) value;
 			// everything younger squashes.
+			if c.flt != nil {
+				c.flt.OnReplayVerdict(c.ID, e.tag, true, c.cycle)
+			}
 			premature := e.value
 			e.result = e.replayValue
 			e.value = e.replayValue
@@ -588,13 +604,18 @@ func (c *Core) replayStage() {
 			if c.cfg.SquashIncludesLoad {
 				// Ablation variant: refetch the load itself too; rule 3
 				// marks it so it is not replayed again.
-				c.noReplayPC = e.pc
-				c.noReplayArmed = true
+				if c.flt == nil || !c.flt.SuppressRule3(c.ID, c.cycle) {
+					c.noReplayPC = e.pc
+					c.noReplayArmed = true
+				}
 				c.squashFrom(e.tag, e.pc, false)
 			} else {
 				c.squashFrom(e.tag+1, e.pc+prog.InstBytes, false)
 			}
 			return
+		}
+		if c.flt != nil {
+			c.flt.OnReplayVerdict(c.ID, e.tag, false, c.cycle)
 		}
 		e.replayedOK = true
 	}
@@ -770,6 +791,9 @@ func (c *Core) issueLoad(e *entry, b *fuBudget) (bool, bool) {
 	e.inIQ = false
 	e.forwardTag = -1
 	e.nus = r.UnresolvedOlder
+	if e.nus && c.flt != nil && c.flt.SuppressNUS(c.ID, c.cycle) {
+		e.nus = false // injected fault: blind the RAW filter input
+	}
 	if e.nus {
 		c.Stats.LoadsNUSFlagged++
 	}
@@ -803,6 +827,14 @@ func (c *Core) issueLoad(e *entry, b *fuBudget) (bool, bool) {
 			}
 		}
 		lat = res.Latency
+	}
+	if c.flt != nil && !e.valuePredicted {
+		// A predicted value is not a datapath sample, so it is exempt;
+		// forwarded values are LoadValue-eligible only, demand reads may
+		// also take a CacheData array fault.
+		if v, ok := c.flt.CorruptLoadValue(c.ID, e.tag, e.pc, addr, e.value, !r.Match, c.cycle); ok {
+			e.value = v
+		}
 	}
 	e.result = e.value
 	e.doneCycle = c.cycle + int64(lat)
@@ -1098,6 +1130,10 @@ func (c *Core) fetch() {
 // history; otherwise history is restored from the oldest killed
 // instruction's snapshot.
 func (c *Core) squashFrom(fromTag int64, newPC uint64, branchRepair bool) {
+	if c.flt != nil {
+		// Pending injections on killed loads leave the machine with them.
+		c.flt.OnSquash(c.ID, fromTag, c.cycle)
+	}
 	// Find the cut point.
 	robLen := c.rob.Len()
 	cut := robLen
@@ -1201,6 +1237,9 @@ func (c *Core) HandleExternalInvalidation(block uint64) {
 		return
 	}
 	if c.eng.Filter.NeedsSnoopEvents() {
+		if c.flt != nil && c.flt.SuppressWindow(c.ID, c.cycle) {
+			return // injected fault: the NRS window never opens
+		}
 		c.eng.NoteExternalEvent(c.youngestLoadTag())
 	}
 }
@@ -1213,6 +1252,9 @@ func (c *Core) HandleExternalFill(block uint64) {
 			Kind: trace.KExtFill, Addr: block})
 	}
 	if c.eng != nil && c.eng.Filter.NeedsMissEvents() {
+		if c.flt != nil && c.flt.SuppressWindow(c.ID, c.cycle) {
+			return // injected fault: the NRM window never opens
+		}
 		c.eng.NoteExternalEvent(c.youngestLoadTag())
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"vbmo/internal/coherence"
 	"vbmo/internal/config"
 	"vbmo/internal/consistency"
+	"vbmo/internal/fault"
 	"vbmo/internal/isa"
 	"vbmo/internal/pipeline"
 	"vbmo/internal/prog"
@@ -54,6 +55,19 @@ type Options struct {
 	// step — the perturbation hook litmus sweeps use to inject coherence
 	// contention (Bus.Probe) or other timing noise mid-run.
 	OnCycle func(cycle int64)
+	// Fault, when enabled, builds a deterministic fault injector
+	// (internal/fault) and threads it through every core and the
+	// snoop/fill delivery paths. Nil or zero-rate keeps every hook on
+	// its zero-cost disabled branch (DESIGN.md §10).
+	Fault *fault.Config
+	// WatchdogCycles, when positive, arms the forward-progress watchdog:
+	// if no core commits an instruction for this many consecutive
+	// cycles, the run stops and System.Deadlock holds a structured
+	// report with per-core ROB/LSQ dumps. It also arms the
+	// replay-squash-storm detector (exponential-backoff fetch
+	// throttling). 0 (the default) disables both and leaves the cycle
+	// loop untouched.
+	WatchdogCycles int64
 }
 
 // System is a built machine: cores in lock-step over a shared image.
@@ -80,6 +94,14 @@ type System struct {
 	snapInterval int64
 	// onCycle is the per-cycle perturbation hook (nil = disabled).
 	onCycle func(cycle int64)
+	// Faults is the fault injector the machine was built with (nil when
+	// fault injection is disabled).
+	Faults *fault.Injector
+	// Deadlock holds the watchdog's report when a run was stopped for
+	// lack of forward progress (nil otherwise).
+	Deadlock *DeadlockReport
+	// wd is the armed watchdog (nil when disabled).
+	wd *watchdog
 }
 
 // New builds a system running the given workload on the given machine
@@ -130,6 +152,12 @@ func NewCustom(cfg config.Machine, program *prog.Program, inits []prog.ArchState
 		opt.RecordCommits = true
 		s.Shadow = consistency.NewShadow(true)
 	}
+	if opt.Fault.Enabled() {
+		s.Faults = fault.NewInjector(*opt.Fault, opt.Trace)
+	}
+	if opt.WatchdogCycles > 0 {
+		s.wd = newWatchdog(opt.WatchdogCycles, opt.Cores)
+	}
 	for c := 0; c < opt.Cores; c++ {
 		hier := cache.NewHierarchy(c, cfg.Hier, bus)
 		bus.AttachPeer(c, hier)
@@ -137,9 +165,21 @@ func NewCustom(cfg config.Machine, program *prog.Program, inits []prog.ArchState
 		// External invalidations reach the load queue (baseline) or the
 		// no-recent-snoop filter; castouts must be treated identically
 		// so snoop visibility is never lost (paper §3.1).
-		bus.OnInvalidation(c, core.HandleExternalInvalidation)
-		hier.OnL3Evict = core.HandleExternalInvalidation
-		hier.OnFill = core.HandleExternalFill
+		onInval := core.HandleExternalInvalidation
+		onFill := core.HandleExternalFill
+		if s.Faults != nil && s.Faults.MessageFaults() {
+			// Message faults interpose between delivery and the core's
+			// ordering machinery: the cache state change already happened
+			// (SnoopInvalidate / the fill itself), only the notification
+			// is dropped or deferred. Deferred deliveries drain at the
+			// top of each cycle (Advance), in jittered-due order, which
+			// is what reorders back-to-back messages.
+			onInval, onFill = s.wrapMessageFaults(core)
+		}
+		bus.OnInvalidation(c, onInval)
+		hier.OnL3Evict = onInval
+		hier.OnFill = onFill
+		core.SetFaults(s.Faults)
 		core.Shadow = s.Shadow
 		core.SetTracer(opt.Trace)
 		if opt.RecordCommits {
@@ -168,6 +208,33 @@ func NewCustom(cfg config.Machine, program *prog.Program, inits []prog.ArchState
 		}
 	}
 	return s
+}
+
+// wrapMessageFaults returns invalidation/fill delivery callbacks for one
+// core that route through the fault injector: a message may be dropped,
+// deferred (redelivered by Advance at its jittered due cycle), or passed
+// through untouched.
+func (s *System) wrapMessageFaults(core *pipeline.Core) (onInval, onFill func(block uint64)) {
+	id := core.ID
+	onInval = func(block uint64) {
+		if dropped, extra := s.Faults.SnoopFate(id, s.CycleNum); dropped {
+			return
+		} else if extra > 0 {
+			s.Faults.Defer(s.CycleNum+extra, func() { core.HandleExternalInvalidation(block) })
+			return
+		}
+		core.HandleExternalInvalidation(block)
+	}
+	onFill = func(block uint64) {
+		if dropped, extra := s.Faults.FillFate(id, s.CycleNum); dropped {
+			return
+		} else if extra > 0 {
+			s.Faults.Defer(s.CycleNum+extra, func() { core.HandleExternalFill(block) })
+			return
+		}
+		core.HandleExternalFill(block)
+	}
+	return onInval, onFill
 }
 
 // CheckSC builds the constraint graph over the recorded committed
@@ -321,6 +388,9 @@ func (s *System) Advance(target uint64, opt Options) {
 		if s.onCycle != nil {
 			s.onCycle(s.CycleNum)
 		}
+		if s.Faults != nil {
+			s.Faults.DeliverDue(s.CycleNum)
+		}
 		if s.DMA != nil {
 			s.DMA.Tick(s.CycleNum)
 		}
@@ -330,6 +400,9 @@ func (s *System) Advance(target uint64, opt Options) {
 			}
 		}
 		s.CycleNum++
+		if s.wd != nil && s.wd.check(s) {
+			break // no forward progress: s.Deadlock holds the report
+		}
 		if s.snapInterval > 0 && s.CycleNum%s.snapInterval == 0 {
 			s.sample()
 		}

@@ -1,0 +1,154 @@
+package system
+
+import (
+	"fmt"
+	"strings"
+
+	"vbmo/internal/pipeline"
+	"vbmo/internal/trace"
+)
+
+// Watchdog internals: storm detection integrates per-core replay-squash
+// deltas over fixed windows; a core whose delta crosses the threshold
+// has fetch throttled with exponential backoff (a squash storm makes no
+// forward progress worth its power — the paper's livelock discussion
+// motivates damping refetch).
+const (
+	// wdStormWindow is the storm-integration window in cycles.
+	wdStormWindow = 1024
+	// wdStormThreshold is replay squashes per window that count as a
+	// storm (one per ~32 cycles sustained).
+	wdStormThreshold = 32
+	// wdBackoffBase / wdBackoffMax bound the throttle: the first storm
+	// stalls fetch wdBackoffBase cycles, doubling per consecutive stormy
+	// window up to wdBackoffMax.
+	wdBackoffBase = 64
+	wdBackoffMax  = 8192
+	// wdDumpROB bounds the per-core ROB dump in a deadlock report.
+	wdDumpROB = 12
+)
+
+// DeadlockReport is the watchdog's structured account of a run that
+// stopped committing.
+type DeadlockReport struct {
+	// Cycle is when the watchdog fired; LastCommitCycle the last cycle
+	// any core committed; Window the configured no-commit threshold.
+	Cycle           int64 `json:"cycle"`
+	LastCommitCycle int64 `json:"last_commit_cycle"`
+	Window          int64 `json:"window"`
+	// Cores holds one state dump per core (ROB head, queue depths).
+	Cores []pipeline.StateDump `json:"cores"`
+}
+
+// String renders the report for logs and panics.
+func (r *DeadlockReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "watchdog: no instruction committed machine-wide for %d cycles (cycle %d, last commit at %d)",
+		r.Window, r.Cycle, r.LastCommitCycle)
+	for _, c := range r.Cores {
+		b.WriteString("\n  ")
+		b.WriteString(c.String())
+	}
+	return b.String()
+}
+
+// WatchdogStats summarizes watchdog activity over a run.
+type WatchdogStats struct {
+	// Storms counts stormy (threshold-crossing) core-windows; Throttles
+	// counts throttle applications (== Storms today, kept separate so a
+	// future grace policy can skip the first).
+	Storms    uint64 `json:"storms"`
+	Throttles uint64 `json:"throttles"`
+	// MaxBackoff is the largest backoff applied to any core.
+	MaxBackoff int64 `json:"max_backoff,omitempty"`
+}
+
+// watchdog tracks machine-wide commit progress and per-core replay
+// squash rates. One instance per system; stepped from Advance.
+type watchdog struct {
+	window        int64 // no-commit cycles before declaring deadlock
+	lastTotal     uint64
+	lastCommit    int64 // cycle of the last observed commit-count change
+	nextStormScan int64
+	lastSquash    []uint64 // per-core replay-squash count at window start
+	backoff       []int64  // per-core current backoff (0 = calm)
+	stats         WatchdogStats
+}
+
+func newWatchdog(window int64, cores int) *watchdog {
+	return &watchdog{
+		window:        window,
+		nextStormScan: wdStormWindow,
+		lastSquash:    make([]uint64, cores),
+		backoff:       make([]int64, cores),
+	}
+}
+
+// check observes one elapsed cycle; it returns true when the run must
+// stop (deadlock declared, report stored on the system).
+func (w *watchdog) check(s *System) bool {
+	var total uint64
+	for _, c := range s.Cores {
+		total += c.Stats.Committed
+	}
+	if total != w.lastTotal {
+		w.lastTotal = total
+		w.lastCommit = s.CycleNum
+	} else if s.CycleNum-w.lastCommit >= w.window {
+		rep := &DeadlockReport{
+			Cycle:           s.CycleNum,
+			LastCommitCycle: w.lastCommit,
+			Window:          w.window,
+		}
+		for _, c := range s.Cores {
+			rep.Cores = append(rep.Cores, c.Dump(wdDumpROB))
+		}
+		s.Deadlock = rep
+		if s.Trace != nil {
+			s.Trace.Emit(trace.Event{Cycle: s.CycleNum, Core: -1,
+				Kind: trace.KWatchdog, Reason: trace.RWatchdogDeadlock,
+				Value: uint64(s.CycleNum - w.lastCommit)})
+		}
+		return true
+	}
+
+	if s.CycleNum >= w.nextStormScan {
+		w.nextStormScan += wdStormWindow
+		for i, c := range s.Cores {
+			sq := c.ReplaySquashes()
+			delta := sq - w.lastSquash[i]
+			w.lastSquash[i] = sq
+			if delta >= wdStormThreshold {
+				// Stormy window: double the backoff and stall fetch.
+				if w.backoff[i] == 0 {
+					w.backoff[i] = wdBackoffBase
+				} else if w.backoff[i] < wdBackoffMax {
+					w.backoff[i] *= 2
+				}
+				w.stats.Storms++
+				w.stats.Throttles++
+				if w.backoff[i] > w.stats.MaxBackoff {
+					w.stats.MaxBackoff = w.backoff[i]
+				}
+				c.Throttle(s.CycleNum + w.backoff[i])
+				if s.Trace != nil {
+					s.Trace.Emit(trace.Event{Cycle: s.CycleNum,
+						Core: int32(i), Kind: trace.KWatchdog,
+						Reason: trace.RWatchdogStorm,
+						Value:  uint64(w.backoff[i])})
+				}
+			} else {
+				w.backoff[i] = 0 // calm window: forgive
+			}
+		}
+	}
+	return false
+}
+
+// Watchdog returns the watchdog's activity stats (zero when disabled).
+func (s *System) Watchdog() WatchdogStats {
+	if s.wd == nil {
+		return WatchdogStats{}
+	}
+	return s.wd.stats
+}

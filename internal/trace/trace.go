@@ -77,6 +77,25 @@ const (
 	// event with Core -1 closes each run: Value is 1 when the outcome is
 	// SC-forbidden, Aux the run's seed.
 	KLitmusOutcome
+	// KFaultInject is one act of the fault injector (internal/fault):
+	// Reason records the fault kind (RFault*). For value corruptions,
+	// Value is the corrupted value and Aux the original; for delayed
+	// messages, Value is the extra delay in cycles.
+	KFaultInject
+	// KFaultDetect is an injected value corruption caught by the replay
+	// compare (mismatch ⇒ squash). Value is the fault→detection latency
+	// in cycles — the event stream behind the detection-latency
+	// histogram.
+	KFaultDetect
+	// KFaultMiss is an injected value corruption that committed without
+	// verification — the corrupted value became architectural. Value is
+	// the corrupted value.
+	KFaultMiss
+	// KWatchdog is a forward-progress watchdog action: Reason is
+	// RWatchdogDeadlock (no commit for the configured window; the run
+	// stops with a structured report) or RWatchdogStorm (replay-squash
+	// storm; Value is the throttle backoff applied to Core).
+	KWatchdog
 
 	numKinds
 )
@@ -96,6 +115,10 @@ var kindNames = [numKinds]string{
 	KSQOcc:          "sq-occ",
 	KDMAWrite:       "dma-write",
 	KLitmusOutcome:  "litmus-outcome",
+	KFaultInject:    "fault-inject",
+	KFaultDetect:    "fault-detect",
+	KFaultMiss:      "fault-miss",
+	KWatchdog:       "watchdog",
 }
 
 // String returns the kind's stable wire name.
@@ -187,6 +210,26 @@ const (
 	// REdgeWAR is a load → next value transition edge.
 	REdgeWAR
 
+	// RFault* qualify KFaultInject events with the injected fault kind.
+	// They are contiguous and ordered exactly like internal/fault's Kind
+	// enum (fault maps a kind k to RFaultLoadValue + k).
+	RFaultLoadValue
+	RFaultCacheData
+	RFaultDropSnoop
+	RFaultDelaySnoop
+	RFaultDropFill
+	RFaultDelayFill
+	RFaultSuppressNUS
+	RFaultSuppressWindow
+	RFaultSuppressRule3
+
+	// RWatchdogDeadlock: no instruction committed machine-wide for the
+	// configured watchdog window; the run stops with a deadlock report.
+	RWatchdogDeadlock
+	// RWatchdogStorm: a core's replay-squash rate crossed the storm
+	// threshold and fetch was throttled with exponential backoff.
+	RWatchdogStorm
+
 	numReasons
 )
 
@@ -210,6 +253,19 @@ var reasonNames = [numReasons]string{
 	REdgeRAW:          "raw-edge",
 	REdgeWAW:          "waw-edge",
 	REdgeWAR:          "war-edge",
+
+	RFaultLoadValue:      "fault-load-value",
+	RFaultCacheData:      "fault-cache-data",
+	RFaultDropSnoop:      "fault-drop-snoop",
+	RFaultDelaySnoop:     "fault-delay-snoop",
+	RFaultDropFill:       "fault-drop-fill",
+	RFaultDelayFill:      "fault-delay-fill",
+	RFaultSuppressNUS:    "fault-suppress-nus",
+	RFaultSuppressWindow: "fault-suppress-window",
+	RFaultSuppressRule3:  "fault-suppress-rule3",
+
+	RWatchdogDeadlock: "wd-deadlock",
+	RWatchdogStorm:    "wd-storm",
 }
 
 // String returns the reason's stable wire name ("" for RNone).
