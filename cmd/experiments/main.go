@@ -14,20 +14,21 @@ import (
 	"strings"
 	"time"
 
+	"vbmo/internal/exitcode"
 	"vbmo/internal/experiments"
 )
 
 func main() {
 	var (
-		which      = flag.String("experiment", "all", "all | tables | fig5 | fig6 | fig7 | fig8 | squash | power | relatedwork | snapshots | litmus | faults | bench")
-		quick      = flag.Bool("quick", false, "reduced instruction budgets and core counts")
-		cores      = flag.Int("cores", 0, "override MP core count")
-		uniInstr   = flag.Uint64("uni", 0, "override uniprocessor instructions")
-		mpInstr    = flag.Uint64("mp", 0, "override per-core MP instructions")
-		samples    = flag.Int("samples", 0, "override MP sample count")
-		works      = flag.String("workloads", "", "comma-separated workload subset")
-		parallel   = flag.Bool("parallel", true, "run data points in parallel")
-		workers    = flag.Int("workers", 0, "worker pool size when -parallel (0 = one per GOMAXPROCS)")
+		which       = flag.String("experiment", "all", "all | tables | fig5 | fig6 | fig7 | fig8 | squash | power | relatedwork | snapshots | litmus | faults | bench")
+		quick       = flag.Bool("quick", false, "reduced instruction budgets and core counts")
+		cores       = flag.Int("cores", 0, "override MP core count")
+		uniInstr    = flag.Uint64("uni", 0, "override uniprocessor instructions")
+		mpInstr     = flag.Uint64("mp", 0, "override per-core MP instructions")
+		samples     = flag.Int("samples", 0, "override MP sample count")
+		works       = flag.String("workloads", "", "comma-separated workload subset")
+		parallel    = flag.Bool("parallel", true, "run data points in parallel")
+		workers     = flag.Int("workers", 0, "worker pool size when -parallel (0 = one per GOMAXPROCS)")
 		resume      = flag.String("resume", "", "JSONL checkpoint journal for the §5.1 matrix; completed cells are replayed, not re-run")
 		retries     = flag.Int("retries", 0, "re-attempts for a failed matrix cell")
 		cellTimeout = flag.Duration("cell-timeout", 0, "per-cell wall-clock deadline for the §5.1 matrix (0 = none; nondeterministic)")
@@ -43,11 +44,11 @@ func main() {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			os.Exit(exitcode.Err)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			os.Exit(exitcode.Err)
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -150,7 +151,7 @@ func main() {
 	case "snapshots":
 		if err := experiments.Snapshots(w, cfg, *snapDir); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			os.Exit(exitcode.Err)
 		}
 	case "litmus":
 		if sum := experiments.LitmusMatrix(w, cfg); !sum.SoundOK || !sum.UnsoundCaught {
@@ -165,16 +166,16 @@ func main() {
 		if *benchOut != "" {
 			if err := experiments.WriteBenchReport(*benchOut, rep); err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				os.Exit(exitcode.Err)
 			}
 			fmt.Fprintf(w, "wrote %s\n", *benchOut)
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *which)
-		os.Exit(1)
+		os.Exit(exitcode.Err)
 	}
 	fmt.Fprintf(w, "\n[%s elapsed]\n", time.Since(start).Round(time.Millisecond))
 	if failed {
-		os.Exit(1)
+		os.Exit(exitcode.Err)
 	}
 }

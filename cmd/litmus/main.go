@@ -26,6 +26,7 @@ import (
 	"strings"
 	"time"
 
+	"vbmo/internal/exitcode"
 	"vbmo/internal/fault"
 	"vbmo/internal/litmus"
 )
@@ -79,14 +80,14 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "unknown test %q; valid tests: %s\n",
 				*testName, strings.Join(names, ", "))
-			os.Exit(1)
+			os.Exit(exitcode.Err)
 		}
 		tests = []*litmus.Test{t}
 	case *all:
 		tests = litmus.Battery()
 	default:
 		fmt.Fprintln(os.Stderr, "nothing to do: pass -all, -test NAME, or -list")
-		os.Exit(1)
+		os.Exit(exitcode.Err)
 	}
 
 	var cfgs []litmus.Config
@@ -99,7 +100,7 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "unknown config %q; valid configs: %s\n",
 				*cfgName, strings.Join(names, ", "))
-			os.Exit(1)
+			os.Exit(exitcode.Err)
 		}
 		cfgs = []litmus.Config{c}
 	} else {
@@ -121,7 +122,7 @@ func main() {
 		ks, err := fault.ParseKinds(*faultKinds)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			os.Exit(exitcode.Err)
 		}
 		fseed := *faultSeed
 		if fseed == 0 {
@@ -173,7 +174,7 @@ func main() {
 		enc := json.NewEncoder(os.Stdout)
 		if err := enc.Encode(out); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			os.Exit(exitcode.Err)
 		}
 	} else {
 		printMatrix(verdicts, tests, cfgs)
@@ -211,7 +212,7 @@ func main() {
 	}
 
 	// Exit-path audit: every failure mode maps to a nonzero exit.
-	exit := 0
+	failed := false
 	// Infrastructure failures (panic, timeout, retries exhausted) are
 	// reported per-cell and fail the battery even when every completed
 	// cell looks clean.
@@ -219,7 +220,7 @@ func main() {
 		for _, e := range sum.Errors {
 			fmt.Fprintf(os.Stderr, "ERROR %s\n", e)
 		}
-		exit = 1
+		failed = true
 	}
 	if fc.Enabled() && faultBreaksSoundness(fc.Kinds) {
 		// Filter-breaking fault injection inverts the contract: the
@@ -234,7 +235,7 @@ func main() {
 		}
 		if caught == 0 {
 			fmt.Fprintln(os.Stderr, "FAULT ESCAPE: filter-breaking fault injection produced no flagged run; the checker missed the sabotage")
-			exit = 1
+			failed = true
 		}
 	} else if fc == nil {
 		// A sound-config violation always fails. The catch requirement
@@ -242,11 +243,11 @@ func main() {
 		// single test legitimately escapes (MP never catches NUS-alone),
 		// so it is only enforced when the full battery ran.
 		if !sum.SoundOK || (*all && *testName == "" && !sum.UnsoundCaught) {
-			exit = 1
+			failed = true
 		}
 	}
-	if exit != 0 {
-		os.Exit(exit)
+	if failed {
+		os.Exit(exitcode.Err)
 	}
 }
 

@@ -1,0 +1,96 @@
+// Command vbrlint runs the project's static-analysis suite: four
+// analyzers (determinism, hotalloc, nilguard, exitcode) that turn the
+// simulator's runtime invariants — bit-identical fixed-seed outputs,
+// the allocation-free cycle loop, zero-cost disabled hooks, the CLI
+// exit contract — into compile-time checks. Stdlib-only: the module
+// stays dependency-free.
+//
+//	vbrlint ./...                    # lint the whole module
+//	vbrlint ./internal/pipeline      # one package
+//	vbrlint -json ./...              # machine-readable findings
+//
+// Findings go to stdout as file:line:col: analyzer: message (or a JSON
+// array with -json). The exit status is exitcode.OK when clean and
+// exitcode.Err on any finding, load failure, or usage error, so CI can
+// gate on it directly. Suppress a deliberate exception with
+// "//vbr:allow <analyzer> <reason>" on or above the offending line;
+// unused directives are themselves findings.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"vbmo/internal/analysis"
+	"vbmo/internal/exitcode"
+)
+
+func main() {
+	var (
+		jsonOut = flag.Bool("json", false, "emit findings as a JSON array")
+		rootDir = flag.String("root", "", "module root (default: walk up from the working directory to go.mod)")
+	)
+	flag.Parse()
+
+	root := *rootDir
+	if root == "" {
+		var err error
+		root, err = findModuleRoot()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(exitcode.Err)
+		}
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	diags, err := analysis.Run(root, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(exitcode.Err)
+	}
+
+	if *jsonOut {
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(exitcode.Err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "vbrlint: %d finding(s)\n", len(diags))
+		}
+		os.Exit(exitcode.Err)
+	}
+}
+
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("vbrlint: no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"vbmo/internal/config"
+	"vbmo/internal/exitcode"
 	"vbmo/internal/fault"
 	"vbmo/internal/par"
 	"vbmo/internal/stats"
@@ -64,11 +65,11 @@ func main() {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			os.Exit(exitcode.Err)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			os.Exit(exitcode.Err)
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -110,27 +111,27 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "unknown workload %q; valid workloads: %s\n",
 			*workName, strings.Join(names, ", "))
-		os.Exit(1)
+		os.Exit(exitcode.Err)
 	}
 	cfg, ok := config.ByName(*machine)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown machine %q; valid machines: %s\n",
 			*machine, strings.Join(config.Names(), ", "))
-		os.Exit(1)
+		os.Exit(exitcode.Err)
 	}
 	fc, err := faultConfig(*faultKinds, *faultRate, *faultSeed, *faultDelay, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		os.Exit(exitcode.Err)
 	}
 	if *seeds > 1 {
 		if *traceOut != "" {
 			fmt.Fprintln(os.Stderr, "-trace is incompatible with -seeds > 1 (interleaved runs would share one event stream)")
-			os.Exit(1)
+			os.Exit(exitcode.Err)
 		}
 		if *snapEvery != 0 {
 			fmt.Fprintln(os.Stderr, "-snapshot-interval is incompatible with -seeds > 1")
-			os.Exit(1)
+			os.Exit(exitcode.Err)
 		}
 		runSeedSweep(cfg, work, sweepOptions{
 			cores: *cores, insts: *insts, baseSeed: *seed, seeds: *seeds,
@@ -143,7 +144,7 @@ func main() {
 	}
 	if *resume != "" || *cellTimeout != 0 || *retries != 0 {
 		fmt.Fprintln(os.Stderr, "-resume, -cell-timeout and -retries apply only to a -seeds sweep")
-		os.Exit(1)
+		os.Exit(exitcode.Err)
 	}
 	// Trace plumbing: the chosen format's sink is teed with a counting
 	// sink so the end-of-run summary can report per-kind event totals.
@@ -161,7 +162,7 @@ func main() {
 			f, err := os.Create(*traceOut)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				os.Exit(exitcode.Err)
 			}
 			traceDst = f
 			closeDst = true
@@ -174,7 +175,7 @@ func main() {
 		case "ring":
 			if *traceRing <= 0 {
 				fmt.Fprintf(os.Stderr, "-trace-ring must be positive (got %d)\n", *traceRing)
-				os.Exit(1)
+				os.Exit(exitcode.Err)
 			}
 			ring = trace.NewRingSink(*traceRing)
 			switch *traceFreeze {
@@ -194,12 +195,12 @@ func main() {
 				}
 			default:
 				fmt.Fprintf(os.Stderr, "unknown -trace-freeze %q\n", *traceFreeze)
-				os.Exit(1)
+				os.Exit(exitcode.Err)
 			}
 			fileSink = ring
 		default:
 			fmt.Fprintf(os.Stderr, "unknown -trace-format %q\n", *traceFormat)
-			os.Exit(1)
+			os.Exit(exitcode.Err)
 		}
 		tracer = trace.New(&trace.TeeSink{Sinks: []trace.Sink{fileSink, counts}})
 	}
@@ -266,7 +267,7 @@ func main() {
 		enc := json.NewEncoder(os.Stdout)
 		if err := enc.Encode(out); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			os.Exit(exitcode.Err)
 		}
 	}
 	if tracer != nil {
@@ -279,17 +280,17 @@ func main() {
 			fmt.Fprintf(traceDst, "# ring post-mortem: %s %d events\n", state, ring.Len())
 			if err := ring.Dump(traceDst); err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				os.Exit(exitcode.Err)
 			}
 		}
 		if err := tracer.Flush(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			os.Exit(exitcode.Err)
 		}
 		if closeDst {
 			if err := traceDst.Close(); err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				os.Exit(exitcode.Err)
 			}
 		}
 		if !*jsonOut {
@@ -310,18 +311,18 @@ func main() {
 	// that escaped detection is reported even when the run completed.
 	switch {
 	case scViolation:
-		os.Exit(2)
+		os.Exit(exitcode.SCViolation)
 	case s.Deadlock != nil:
 		fmt.Fprintf(os.Stderr, "DEADLOCK:\n%s", s.Deadlock)
-		os.Exit(4)
+		os.Exit(exitcode.Deadlock)
 	case s.Faults != nil && s.Faults.Stats.Missed > 0:
 		fmt.Fprintf(os.Stderr, "FAULT MISS: %d injected fault(s) committed undetected (%s)\n",
 			s.Faults.Stats.Missed, s.Faults.Summary())
-		os.Exit(5)
+		os.Exit(exitcode.FaultEscape)
 	case incomplete:
 		fmt.Fprintf(os.Stderr, "INCOMPLETE: committed %d of %d target instructions\n",
 			p.Committed, *insts*uint64(*cores))
-		os.Exit(3)
+		os.Exit(exitcode.Incomplete)
 	}
 }
 
@@ -468,7 +469,7 @@ func runSeedSweep(cfg config.Machine, work workload.Params, o sweepOptions) {
 		j, err := par.OpenJournal(o.journal, sweepFingerprint(cfg, work, o))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			os.Exit(exitcode.Err)
 		}
 		journal = j
 		defer journal.Close()
@@ -557,7 +558,7 @@ func runSeedSweep(cfg config.Machine, work workload.Params, o sweepOptions) {
 		if o.jsonOut {
 			if err := enc.Encode(r.Out); err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				os.Exit(exitcode.Err)
 			}
 			continue
 		}
@@ -593,15 +594,15 @@ func runSeedSweep(cfg config.Machine, work workload.Params, o sweepOptions) {
 	// any soundness or infrastructure failure still exits nonzero.
 	switch {
 	case anyViolation:
-		os.Exit(2)
+		os.Exit(exitcode.SCViolation)
 	case anyDeadlock:
-		os.Exit(4)
+		os.Exit(exitcode.Deadlock)
 	case anyMissed:
-		os.Exit(5)
+		os.Exit(exitcode.FaultEscape)
 	case anyIncomplete:
-		os.Exit(3)
+		os.Exit(exitcode.Incomplete)
 	case len(failures) > 0:
-		os.Exit(1)
+		os.Exit(exitcode.Err)
 	}
 }
 

@@ -1,0 +1,274 @@
+// Package analysis is vbrlint's engine: a stdlib-only static-analysis
+// framework (go/parser + go/types + go/importer — the module stays
+// dependency-free) plus the four project-specific analyzers that turn
+// the simulator's runtime invariants into compile-time checks:
+//
+//   - determinism: simulator packages must stay bit-reproducible — no
+//     wall-clock time, no global math/rand, no order-dependent map
+//     iteration, no multi-way select.
+//   - hotalloc: functions annotated //vbr:hotpath must not contain
+//     allocation-inducing constructs (the cycle loop's 0.0005
+//     allocs/instr budget is enforced structurally, not just by the
+//     runtime regression tests).
+//   - nilguard: every call through a *trace.Tracer or *fault.Injector
+//     must be dominated by a nil check, preserving the zero-cost
+//     disabled path.
+//   - exitcode: cmd/* may exit only through internal/exitcode
+//     constants; internal/* may not exit at all.
+//
+// Findings are suppressed with a line-targeted escape hatch:
+//
+//	//vbr:allow <analyzer> <reason>
+//
+// placed on the offending line or the line directly above it. Unused
+// or malformed directives are themselves diagnostics, so the shipped
+// tree cannot accumulate stale suppressions.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named check. Run inspects a single type-checked
+// package and reports findings through the Pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// A Pass is one (analyzer, package) execution.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Package:  p.Pkg.Path,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one reported finding, addressed by file:line:col.
+type Diagnostic struct {
+	Analyzer string `json:"analyzer"`
+	Package  string `json:"package"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// Analyzers returns the full suite in its canonical run order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		DeterminismAnalyzer,
+		HotAllocAnalyzer,
+		NilGuardAnalyzer,
+		ExitCodeAnalyzer,
+	}
+}
+
+// allowDirective is one parsed "//vbr:allow <analyzer> <reason>"
+// comment. It suppresses findings of the named analyzer on its own
+// source line or the line directly below it (i.e. it may trail the
+// offending statement or sit on its own line above it).
+type allowDirective struct {
+	file     string
+	line     int
+	analyzer string
+	reason   string
+	pos      token.Pos
+	used     bool
+}
+
+const (
+	allowPrefix   = "//vbr:allow"
+	hotpathMarker = "//vbr:hotpath"
+)
+
+// parseAllows extracts every allow directive in the package. Malformed
+// directives (missing analyzer or reason) are reported as diagnostics
+// under the pseudo-analyzer "vbrlint".
+func parseAllows(pkg *Package, diags *[]Diagnostic) []*allowDirective {
+	var allows []*allowDirective
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, allowPrefix)
+				if rest != "" && !strings.HasPrefix(rest, " ") {
+					continue // e.g. //vbr:allowing — not our directive
+				}
+				fields := strings.Fields(rest)
+				pos := pkg.Fset.Position(c.Pos())
+				if len(fields) < 2 {
+					*diags = append(*diags, Diagnostic{
+						Analyzer: "vbrlint",
+						Package:  pkg.Path,
+						File:     pos.Filename,
+						Line:     pos.Line,
+						Col:      pos.Column,
+						Message:  "malformed //vbr:allow: want \"//vbr:allow <analyzer> <reason>\"",
+					})
+					continue
+				}
+				allows = append(allows, &allowDirective{
+					file:     pos.Filename,
+					line:     pos.Line,
+					analyzer: fields[0],
+					reason:   strings.Join(fields[1:], " "),
+					pos:      c.Pos(),
+				})
+			}
+		}
+	}
+	return allows
+}
+
+// RunPackage applies every analyzer to one package, then applies the
+// //vbr:allow suppressions. A directive that suppresses nothing is
+// itself reported, so stale allows cannot survive refactors silently.
+func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var raw []Diagnostic
+	var meta []Diagnostic // malformed/unused directive findings
+	allows := parseAllows(pkg, &meta)
+
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Pkg: pkg, diags: &raw}
+		a.Run(pass)
+	}
+
+	var kept []Diagnostic
+	for _, d := range raw {
+		suppressed := false
+		for _, al := range allows {
+			if al.analyzer == d.Analyzer && al.file == d.File &&
+				(al.line == d.Line || al.line == d.Line-1) {
+				al.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	for _, al := range allows {
+		if !al.used {
+			pos := pkg.Fset.Position(al.pos)
+			meta = append(meta, Diagnostic{
+				Analyzer: "vbrlint",
+				Package:  pkg.Path,
+				File:     pos.Filename,
+				Line:     pos.Line,
+				Col:      pos.Column,
+				Message:  fmt.Sprintf("unused //vbr:allow %s directive (no %s finding on this or the next line)", al.analyzer, al.analyzer),
+			})
+		}
+	}
+	kept = append(kept, meta...)
+	sortDiagnostics(kept)
+	return kept
+}
+
+// Run loads the module rooted at root, lints the packages whose import
+// paths match the patterns (empty = all), and returns the sorted
+// findings.
+func Run(root string, patterns []string) ([]Diagnostic, error) {
+	prog, err := LoadModule(root)
+	if err != nil {
+		return nil, err
+	}
+	var out []Diagnostic
+	for _, pkg := range prog.Packages {
+		if !matchAny(pkg.Path, prog.ModulePath, patterns) {
+			continue
+		}
+		out = append(out, RunPackage(pkg, Analyzers())...)
+	}
+	sortDiagnostics(out)
+	return out, nil
+}
+
+// matchAny reports whether import path p is selected by the patterns.
+// Supported forms: "./..." (everything), "./dir/..." (subtree),
+// "./dir" (exact), and bare import paths with the same "..." suffix
+// convention.
+func matchAny(p, modulePath string, patterns []string) bool {
+	if len(patterns) == 0 {
+		return true
+	}
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(pat, "./")
+		pat = strings.TrimSuffix(pat, "/")
+		if pat == "..." || pat == "" {
+			return true
+		}
+		full := pat
+		if !strings.HasPrefix(pat, modulePath) {
+			full = modulePath + "/" + pat
+		}
+		if sub, ok := strings.CutSuffix(full, "/..."); ok {
+			if p == sub || strings.HasPrefix(p, sub+"/") {
+				return true
+			}
+			continue
+		}
+		if p == full {
+			return true
+		}
+	}
+	return false
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// isHotpath reports whether fn carries the //vbr:hotpath annotation in
+// its doc comment.
+func isHotpath(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.TrimSpace(c.Text) == hotpathMarker {
+			return true
+		}
+	}
+	return false
+}

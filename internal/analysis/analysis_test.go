@@ -1,0 +1,223 @@
+package analysis
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fixtureDirs maps the fixture module's import paths onto testdata
+// trees. The paths are chosen so each analyzer's scoping rules fire:
+// fix/internal/pipeline and fix/internal/lsq get the determinism
+// rules, fix/cmd/tool the cmd exit rules, and the trace/fault/exitcode
+// stubs satisfy the suffix matching used by nilguard and exitcode.
+var fixtureDirs = map[string]string{
+	"fix/internal/trace":    "testdata/src/trace",
+	"fix/internal/fault":    "testdata/src/fault",
+	"fix/internal/exitcode": "testdata/src/exitcode",
+	"fix/internal/pipeline": "testdata/src/determinism",
+	"fix/internal/hot":      "testdata/src/hot",
+	"fix/internal/guards":   "testdata/src/guards",
+	"fix/cmd/tool":          "testdata/src/tool",
+	"fix/internal/leaky":    "testdata/src/leaky",
+	"fix/internal/lsq":      "testdata/src/allow",
+}
+
+var (
+	fixtureOnce sync.Once
+	fixtureProg *Program
+	fixtureErr  error
+)
+
+// loadFixtures type-checks the fixture module once per test binary
+// (the source importer re-checks the stdlib, which is the slow part).
+func loadFixtures(t *testing.T) *Program {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		fixtureProg, fixtureErr = LoadPackages("fix", fixtureDirs)
+	})
+	if fixtureErr != nil {
+		t.Fatalf("loading fixtures: %v", fixtureErr)
+	}
+	return fixtureProg
+}
+
+func fixturePackage(t *testing.T, path string) *Package {
+	t.Helper()
+	for _, pkg := range loadFixtures(t).Packages {
+		if pkg.Path == path {
+			return pkg
+		}
+	}
+	t.Fatalf("fixture package %s not loaded", path)
+	return nil
+}
+
+// want is one inline expectation: `// want <analyzer> "substr"` on the
+// diagnostic's line, or `// want-below <analyzer> "substr"` on the
+// line above it.
+type want struct {
+	file     string
+	line     int
+	analyzer string
+	substr   string
+	matched  bool
+}
+
+var wantRE = regexp.MustCompile(`want(-below)? (\w+) "([^"]*)"`)
+
+func parseWants(t *testing.T, dir string) []*want {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*want
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRE.FindAllStringSubmatch(line, -1) {
+				w := &want{file: path, line: i + 1, analyzer: m[2], substr: m[3]}
+				if m[1] == "-below" {
+					w.line++
+				}
+				wants = append(wants, w)
+			}
+		}
+	}
+	return wants
+}
+
+// checkFixture lints one fixture package and compares the findings
+// against its inline expectations, both directions: every want must be
+// matched by a diagnostic, and every diagnostic must be wanted.
+func checkFixture(t *testing.T, importPath string) []Diagnostic {
+	t.Helper()
+	pkg := fixturePackage(t, importPath)
+	diags := RunPackage(pkg, Analyzers())
+	wants := parseWants(t, pkg.Dir)
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.File && w.line == d.Line &&
+				w.analyzer == d.Analyzer && strings.Contains(d.Message, w.substr) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected %s finding containing %q, got none", w.file, w.line, w.analyzer, w.substr)
+		}
+	}
+	return diags
+}
+
+func TestDeterminismFixture(t *testing.T) { checkFixture(t, "fix/internal/pipeline") }
+func TestHotAllocFixture(t *testing.T)    { checkFixture(t, "fix/internal/hot") }
+func TestNilGuardFixture(t *testing.T)    { checkFixture(t, "fix/internal/guards") }
+func TestExitCodeCmdFixture(t *testing.T) { checkFixture(t, "fix/cmd/tool") }
+func TestExitCodeInternalFixture(t *testing.T) {
+	checkFixture(t, "fix/internal/leaky")
+}
+
+// TestStubsClean: the hook stubs themselves must lint clean — in
+// particular, a hook method calling through its own receiver is
+// "already guarded" and must not be flagged.
+func TestStubsClean(t *testing.T) {
+	for _, p := range []string{"fix/internal/trace", "fix/internal/fault", "fix/internal/exitcode"} {
+		for _, d := range RunPackage(fixturePackage(t, p), Analyzers()) {
+			t.Errorf("stub %s: unexpected diagnostic: %s", p, d)
+		}
+	}
+}
+
+// TestAllowSuppressesExactlyOne: the escape-hatch fixture contains four
+// identical time.Now violations; the two carrying a matching directive
+// (line-above and same-line placements) vanish, the other two remain.
+func TestAllowSuppressesExactlyOne(t *testing.T) {
+	diags := checkFixture(t, "fix/internal/lsq")
+	var det, meta int
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "determinism":
+			det++
+		case "vbrlint":
+			meta++
+		}
+	}
+	if det != 2 {
+		t.Errorf("determinism findings after suppression = %d, want 2 (4 violations, 2 allowed)", det)
+	}
+	if meta != 3 {
+		t.Errorf("vbrlint directive findings = %d, want 3 (2 unused + 1 malformed)", meta)
+	}
+}
+
+// TestEachViolationFixtureNonzero mirrors the CLI contract: every
+// violation fixture must produce at least one finding (vbrlint exits
+// nonzero on each).
+func TestEachViolationFixtureNonzero(t *testing.T) {
+	for _, p := range []string{
+		"fix/internal/pipeline", "fix/internal/hot", "fix/internal/guards",
+		"fix/cmd/tool", "fix/internal/leaky", "fix/internal/lsq",
+	} {
+		if n := len(RunPackage(fixturePackage(t, p), Analyzers())); n == 0 {
+			t.Errorf("%s: want nonzero findings, got 0", p)
+		}
+	}
+}
+
+// TestDiagnosticJSON pins the machine-readable shape -json emits, so
+// CI tooling can diff findings between commits.
+func TestDiagnosticJSON(t *testing.T) {
+	d := Diagnostic{Analyzer: "determinism", Package: "p", File: "f.go", Line: 3, Col: 7, Message: "m"}
+	data, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(data)
+	wantJSON := `{"analyzer":"determinism","package":"p","file":"f.go","line":3,"col":7,"message":"m"}`
+	if got != wantJSON {
+		t.Errorf("JSON shape drifted:\n got %s\nwant %s", got, wantJSON)
+	}
+}
+
+// TestPatternMatching covers the ./... expansion the driver uses.
+func TestPatternMatching(t *testing.T) {
+	cases := []struct {
+		path     string
+		patterns []string
+		want     bool
+	}{
+		{"vbmo/internal/pipeline", []string{"./..."}, true},
+		{"vbmo/internal/pipeline", nil, true},
+		{"vbmo/internal/pipeline", []string{"./internal/..."}, true},
+		{"vbmo/internal/pipeline", []string{"./internal/pipeline"}, true},
+		{"vbmo/internal/pipeline", []string{"./internal/lsq"}, false},
+		{"vbmo/internal/pipeline", []string{"./cmd/..."}, false},
+		{"vbmo/cmd/vbrsim", []string{"vbmo/cmd/vbrsim"}, true},
+		{"vbmo", []string{"./..."}, true},
+	}
+	for _, c := range cases {
+		if got := matchAny(c.path, "vbmo", c.patterns); got != c.want {
+			t.Errorf("matchAny(%q, %v) = %v, want %v", c.path, c.patterns, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+var ExitCodeAnalyzer = &Analyzer{
+	Name: "exitcode",
+	Doc: "cmd/* may call os.Exit only with constants from internal/exitcode " +
+		"(the documented CLI contract); internal/* may not exit the process at all",
+	Run: runExitCode,
+}
+
+// exitTableSuffix identifies the shared exit-code table package.
+const exitTableSuffix = "internal/exitcode"
+
+func runExitCode(pass *Pass) {
+	path := pass.Pkg.Path
+	inCmd := strings.Contains(path, "/cmd/") || strings.HasPrefix(path, "cmd/")
+	inInternal := strings.Contains(path, "/internal/") || strings.HasPrefix(path, "internal/")
+	if !inCmd && !inInternal {
+		return // examples/* and the module root are demo/driver code
+	}
+	if strings.HasSuffix(path, exitTableSuffix) {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			switch obj.Pkg().Path() {
+			case "os":
+				if obj.Name() != "Exit" {
+					return true
+				}
+				if inInternal {
+					pass.Reportf(call.Pos(), "os.Exit in an internal package hijacks the process from the driver; return an error (or a typed verdict) and let cmd/* map it to an exitcode constant")
+					return true
+				}
+				if len(call.Args) == 1 && isExitTableConst(info, call.Args[0]) {
+					return true
+				}
+				pass.Reportf(call.Pos(), "os.Exit argument must be a constant from %s (the documented CLI exit contract), not an ad-hoc value", exitTableSuffix)
+			case "log":
+				name := obj.Name()
+				if strings.HasPrefix(name, "Fatal") || strings.HasPrefix(name, "Panic") {
+					pass.Reportf(call.Pos(), "log.%s exits outside the %s table; print the error and os.Exit an exitcode constant instead", name, exitTableSuffix)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isExitTableConst reports whether arg is a selector resolving to a
+// constant declared in the shared exit-code table.
+func isExitTableConst(info *types.Info, arg ast.Expr) bool {
+	sel, ok := arg.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	c, ok := info.Uses[sel.Sel].(*types.Const)
+	if !ok || c.Pkg() == nil {
+		return false
+	}
+	p := c.Pkg().Path()
+	return p == exitTableSuffix || strings.HasSuffix(p, "/"+exitTableSuffix)
+}

@@ -1,0 +1,245 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+var HotAllocAnalyzer = &Analyzer{
+	Name: "hotalloc",
+	Doc: "functions annotated //vbr:hotpath must not contain allocation-inducing " +
+		"constructs; the cycle loop's allocation-free contract is structural",
+	Run: runHotAlloc,
+}
+
+func exprString(e ast.Expr) string { return types.ExprString(e) }
+
+func runHotAlloc(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isHotpath(fn) {
+				continue
+			}
+			checkHotFunc(pass, fn)
+		}
+	}
+}
+
+// checkHotFunc walks one //vbr:hotpath function body and flags every
+// construct the compiler may lower to a heap allocation. Plain struct
+// value literals (trace.Event{...}) are allowed — they stay on the
+// stack; the flagged set is: new, &composite, slice/map/func literals,
+// append to a slice not preallocated in this function, any fmt call,
+// string concatenation, and boxing a concrete non-pointer value into
+// an interface parameter.
+func checkHotFunc(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	prealloc := preallocatedSlices(fn)
+
+	// Collect objects declared inside fn so closures that capture them
+	// can be detected (a capturing closure forces its frame to the heap).
+	local := map[types.Object]bool{}
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil {
+				local[obj] = true
+			}
+		}
+		return true
+	})
+
+	var funcLits []*ast.FuncLit
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			funcLits = append(funcLits, n)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "&composite literal escapes to the heap in //vbr:hotpath function %s", fn.Name.Name)
+				}
+			}
+		case *ast.CompositeLit:
+			if t := info.Types[n].Type; t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					pass.Reportf(n.Pos(), "%s literal allocates in //vbr:hotpath function %s", kindName(t), fn.Name.Name)
+				}
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, fn, n, prealloc)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringType(info.Types[n.X].Type) {
+				pass.Reportf(n.Pos(), "string concatenation allocates in //vbr:hotpath function %s", fn.Name.Name)
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringType(info.Types[n.Lhs[0]].Type) {
+				pass.Reportf(n.Pos(), "string concatenation allocates in //vbr:hotpath function %s", fn.Name.Name)
+			}
+		}
+		return true
+	})
+
+	for _, fl := range funcLits {
+		captured := ""
+		ast.Inspect(fl.Body, func(n ast.Node) bool {
+			if captured != "" {
+				return false
+			}
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := info.Uses[id]; obj != nil && local[obj] && !declaredWithin(obj, fl) {
+					captured = obj.Name()
+				}
+			}
+			return true
+		})
+		if captured != "" {
+			pass.Reportf(fl.Pos(), "closure captures %q from //vbr:hotpath function %s; the captured frame escapes to the heap", captured, fn.Name.Name)
+		} else {
+			pass.Reportf(fl.Pos(), "func literal allocates in //vbr:hotpath function %s", fn.Name.Name)
+		}
+	}
+}
+
+func checkHotCall(pass *Pass, fn *ast.FuncDecl, call *ast.CallExpr, prealloc map[string]bool) {
+	info := pass.Pkg.Info
+	// Builtins: new always allocates; append is allowed only onto a
+	// slice proven preallocated in this function (make with capacity or
+	// a s = s[:0] reset); make itself allocates.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "new":
+				pass.Reportf(call.Pos(), "new allocates in //vbr:hotpath function %s", fn.Name.Name)
+			case "make":
+				pass.Reportf(call.Pos(), "make allocates in //vbr:hotpath function %s", fn.Name.Name)
+			case "append":
+				if len(call.Args) > 0 && !prealloc[exprString(call.Args[0])] {
+					pass.Reportf(call.Pos(), "append to %s may grow the backing array in //vbr:hotpath function %s; preallocate (make with capacity, or reset with s = s[:0]) or //vbr:allow with the amortization argument", exprString(call.Args[0]), fn.Name.Name)
+				}
+			}
+			return
+		}
+	}
+	// Any fmt call: Sprintf allocates the string, Fprintf allocates
+	// through the ...any varargs, Errorf allocates the error.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if obj := info.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+			pass.Reportf(call.Pos(), "fmt.%s allocates in //vbr:hotpath function %s", obj.Name(), fn.Name.Name)
+			return
+		}
+	}
+	// Interface boxing: passing a concrete non-pointer-shaped value
+	// where the callee takes an interface forces a heap copy
+	// (runtime.convT*). Pointer-shaped values (pointers, chans, maps,
+	// funcs) fit the interface word directly and are free.
+	sig := calleeSignature(info, call)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1 && !call.Ellipsis.IsValid():
+			if sl, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil {
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at := info.Types[arg].Type
+		if at == nil || isPointerShaped(at) {
+			continue
+		}
+		if _, argIsIface := at.Underlying().(*types.Interface); argIsIface {
+			continue
+		}
+		if b, ok := at.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "passing %s into interface parameter boxes it onto the heap in //vbr:hotpath function %s", at.String(), fn.Name.Name)
+	}
+}
+
+func calleeSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	t := info.Types[call.Fun].Type
+	if t == nil {
+		return nil
+	}
+	sig, _ := t.Underlying().(*types.Signature)
+	return sig
+}
+
+// preallocatedSlices scans fn's body for slices that were demonstrably
+// given capacity inside the function: `s := make([]T, n, c)` (flagged
+// separately as make, but it does prove capacity) or the steady-state
+// reuse reset `s = s[:0]`. append onto these is allowed.
+func preallocatedSlices(fn *ast.FuncDecl) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			lhs := exprString(as.Lhs[i])
+			switch r := rhs.(type) {
+			case *ast.CallExpr:
+				if id, ok := r.Fun.(*ast.Ident); ok && id.Name == "make" {
+					out[lhs] = true
+				}
+			case *ast.SliceExpr:
+				// s = s[:0] — reuse of retained capacity.
+				if exprString(r.X) == lhs && r.Low == nil && r.High != nil {
+					if lit, ok := r.High.(*ast.BasicLit); ok && lit.Value == "0" {
+						out[lhs] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func declaredWithin(obj types.Object, n ast.Node) bool {
+	return obj.Pos() >= n.Pos() && obj.Pos() <= n.End()
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isPointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok && b.Kind() == types.UnsafePointer {
+		return true
+	}
+	return false
+}
+
+func kindName(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	}
+	return t.String()
+}

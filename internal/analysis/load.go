@@ -1,0 +1,221 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one parsed and type-checked module package.
+type Package struct {
+	Path  string // import path, e.g. "vbmo/internal/pipeline"
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// A Program is the loaded module: every non-test package, type-checked
+// in dependency order against the real standard library.
+type Program struct {
+	ModulePath string
+	Fset       *token.FileSet
+	Packages   []*Package // sorted by import path
+}
+
+// LoadModule discovers, parses, and type-checks every non-test package
+// under root (a directory containing go.mod). Test files, testdata
+// trees, and hidden/underscore directories are skipped — the analyzers
+// guard shipped simulator code, not its tests.
+//
+// Standard-library imports are resolved with the "source" importer
+// (modern toolchains ship no pre-built export data), and module-local
+// imports are served from the walked tree, so the loader needs neither
+// GOPATH nor the go command.
+func LoadModule(root string) (*Program, error) {
+	modulePath, err := readModulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	dirs := map[string]string{} // import path -> dir
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		ok, err := hasGoFiles(path)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		imp := modulePath
+		if rel != "." {
+			imp = modulePath + "/" + filepath.ToSlash(rel)
+		}
+		dirs[imp] = path
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return LoadPackages(modulePath, dirs)
+}
+
+// LoadPackages parses and type-checks the packages in dirs (import
+// path -> directory). It is the testing seam: fixture trees under
+// testdata/src are loaded by mapping their real module import paths
+// (including stubs for vbmo/internal/trace etc.) onto fixture dirs.
+func LoadPackages(modulePath string, dirs map[string]string) (*Program, error) {
+	fset := token.NewFileSet()
+	l := &loader{
+		fset: fset,
+		dirs: dirs,
+		pkgs: map[string]*Package{},
+		std:  importer.ForCompiler(fset, "source", nil),
+	}
+	paths := make([]string, 0, len(dirs))
+	for p := range dirs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	prog := &Program{ModulePath: modulePath, Fset: fset}
+	for _, p := range paths {
+		pkg, err := l.load(p)
+		if err != nil {
+			return nil, err
+		}
+		prog.Packages = append(prog.Packages, pkg)
+	}
+	return prog, nil
+}
+
+type loader struct {
+	fset     *token.FileSet
+	dirs     map[string]string
+	pkgs     map[string]*Package
+	std      types.Importer
+	checking []string // in-progress import paths, for cycle reporting
+}
+
+// Import implements types.Importer: module packages come from the
+// walked tree, everything else from the standard library.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if _, ok := l.dirs[path]; ok {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+func (l *loader) load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	for _, p := range l.checking {
+		if p == path {
+			return nil, fmt.Errorf("import cycle: %s", strings.Join(append(l.checking, path), " -> "))
+		}
+	}
+	l.checking = append(l.checking, path)
+	defer func() { l.checking = l.checking[:len(l.checking)-1] }()
+
+	dir := l.dirs[path]
+	files, err := parseDir(l.fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("%s: no buildable Go files", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+func hasGoFiles(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") &&
+			!strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_") {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("%s: no module directive", gomod)
+}

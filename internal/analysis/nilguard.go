@@ -1,0 +1,329 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+var NilGuardAnalyzer = &Analyzer{
+	Name: "nilguard",
+	Doc: "calls through *trace.Tracer / *fault.Injector values must be dominated " +
+		"by a nil check; the disabled path stays a predictable branch, never a panic",
+	Run: runNilGuard,
+}
+
+// hookType describes one observability hook type whose nil value means
+// "disabled". Methods listed in nilSafe check their own receiver and
+// need no caller-side guard.
+type hookType struct {
+	pkgSuffix string // import-path suffix, e.g. "internal/trace"
+	name      string
+	nilSafe   map[string]bool
+}
+
+var hookTypes = []hookType{
+	{pkgSuffix: "internal/trace", name: "Tracer", nilSafe: map[string]bool{"Flush": true}},
+	{pkgSuffix: "internal/fault", name: "Injector"},
+}
+
+func matchHookType(t types.Type) *hookType {
+	ptr, ok := t.(*types.Pointer)
+	if ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return nil
+	}
+	path := named.Obj().Pkg().Path()
+	for i := range hookTypes {
+		h := &hookTypes[i]
+		if named.Obj().Name() != h.name {
+			continue
+		}
+		if path == h.pkgSuffix || strings.HasSuffix(path, "/"+h.pkgSuffix) {
+			return h
+		}
+	}
+	return nil
+}
+
+func runNilGuard(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkGuardedCalls(pass, fn)
+		}
+	}
+	_ = info
+}
+
+// checkGuardedCalls verifies every hook call in fn. A call recv.M(...)
+// is accepted when:
+//
+//   - M is declared nil-safe (checks its own receiver), or
+//   - fn is itself a method on the hook type and recv is fn's receiver
+//     (callers guard the entry, so the body is already-guarded), or
+//   - the call is dominated by a nil check of recv: an enclosing
+//     `if recv != nil` (call in then-branch), an enclosing
+//     `if recv == nil` (call in else-branch), the short-circuit forms
+//     `recv != nil && ...call...` / `recv == nil || ...call...`, or an
+//     earlier `if recv == nil { return/continue/break/panic }` early-out
+//     in any enclosing block, with no reassignment of recv in between.
+//
+// Receivers are compared by printed expression text; an assignment to
+// the receiver expression between guard and call invalidates the guard.
+func checkGuardedCalls(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.Pkg.Info
+
+	// Receiver name when fn is itself a hook method.
+	selfRecv := ""
+	if fn.Recv != nil && len(fn.Recv.List) == 1 {
+		if t := info.Types[fn.Recv.List[0].Type].Type; t != nil && matchHookType(t) != nil {
+			if len(fn.Recv.List[0].Names) == 1 {
+				selfRecv = fn.Recv.List[0].Names[0].Name
+			}
+		}
+	}
+
+	// Parent map for the dominance walk.
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		recvType := info.Types[sel.X].Type
+		if recvType == nil {
+			return true
+		}
+		hook := matchHookType(recvType)
+		if hook == nil {
+			return true
+		}
+		if hook.nilSafe[sel.Sel.Name] {
+			return true
+		}
+		recv := exprString(sel.X)
+		if selfRecv != "" && (recv == selfRecv || strings.HasPrefix(recv, selfRecv+".")) {
+			return true // already-guarded method body
+		}
+		if isGuarded(call, recv, parents) {
+			return true
+		}
+		pass.Reportf(call.Pos(), "call to (%s).%s is not dominated by a nil check of %s; a disabled (nil) hook would panic here — guard with `if %s != nil` or document with //vbr:allow",
+			recvType.String(), sel.Sel.Name, recv, recv)
+		return true
+	})
+}
+
+// isGuarded walks from the call up through its ancestors looking for a
+// dominating nil check of recv (printed form).
+func isGuarded(call ast.Node, recv string, parents map[ast.Node]ast.Node) bool {
+	child := ast.Node(call)
+	for n := parents[call]; n != nil; child, n = n, parents[n] {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			// recv != nil && <call>   /   recv == nil || <call>
+			if n.Y == child || containsNode(n.Y, child) {
+				if n.Op == token.LAND && impliesNonNil(n.X, recv) {
+					return true
+				}
+				if n.Op == token.LOR && impliesNil(n.X, recv) {
+					return true
+				}
+			}
+		case *ast.IfStmt:
+			if containsNode(n.Body, child) && impliesNonNil(n.Cond, recv) {
+				return true
+			}
+			if n.Else != nil && containsNode(n.Else, child) && impliesNil(n.Cond, recv) {
+				return true
+			}
+		case *ast.BlockStmt:
+			// Early-out guard in a preceding statement of this block.
+			if earlyOutBefore(n, child, recv) {
+				return true
+			}
+		case *ast.CaseClause:
+			// Clause bodies are statement lists too; treat like blocks.
+			if earlyOutBefore(n, child, recv) {
+				return true
+			}
+			// In a tagless switch, a case condition implying recv != nil
+			// dominates its body: `switch { case recv != nil && ...: }`.
+			// (Body only — comma-separated case exprs are OR'd, so one
+			// condition cannot guard a sibling condition.)
+			inBody := false
+			for _, s := range n.Body {
+				if s == child {
+					inBody = true
+				}
+			}
+			if sw, ok := parents[parents[n]].(*ast.SwitchStmt); ok && inBody && sw.Tag == nil &&
+				len(n.List) == 1 && impliesNonNil(n.List[0], recv) {
+				return true
+			}
+		case *ast.CommClause:
+			if earlyOutBefore(n, child, recv) {
+				return true
+			}
+		case *ast.FuncLit:
+			// Keep walking: a closure defined after a guard in the
+			// enclosing function is still dominated by it as long as
+			// the receiver is not reassigned (checked by earlyOutBefore's
+			// reassignment scan on the enclosing blocks).
+		}
+	}
+	return false
+}
+
+// earlyOutBefore reports whether some statement of block preceding the
+// one containing child is `if recv == nil { ...terminating... }`, with
+// no intervening assignment to recv.
+func earlyOutBefore(block ast.Node, child ast.Node, recv string) bool {
+	var list []ast.Stmt
+	switch b := block.(type) {
+	case *ast.BlockStmt:
+		list = b.List
+	case *ast.CaseClause:
+		list = b.Body
+	case *ast.CommClause:
+		list = b.Body
+	default:
+		return false
+	}
+	idx := -1
+	for i, s := range list {
+		if s == child || containsNode(s, child) {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false
+	}
+	guarded := false
+	for i := 0; i < idx; i++ {
+		s := list[i]
+		if guarded && assignsTo(s, recv) {
+			guarded = false
+		}
+		ifs, ok := s.(*ast.IfStmt)
+		if !ok || ifs.Else != nil {
+			continue
+		}
+		if impliesNil(ifs.Cond, recv) && terminates(ifs.Body) {
+			guarded = true
+		}
+	}
+	return guarded
+}
+
+// impliesNonNil reports whether cond being true implies recv != nil.
+func impliesNonNil(cond ast.Expr, recv string) bool {
+	switch c := cond.(type) {
+	case *ast.ParenExpr:
+		return impliesNonNil(c.X, recv)
+	case *ast.BinaryExpr:
+		if c.Op == token.LAND {
+			return impliesNonNil(c.X, recv) || impliesNonNil(c.Y, recv)
+		}
+		if c.Op == token.NEQ {
+			return isNilCompare(c, recv)
+		}
+	}
+	return false
+}
+
+// impliesNil reports whether cond being true implies recv == nil —
+// equivalently, the branch taken when cond is FALSE has recv != nil.
+func impliesNil(cond ast.Expr, recv string) bool {
+	switch c := cond.(type) {
+	case *ast.ParenExpr:
+		return impliesNil(c.X, recv)
+	case *ast.BinaryExpr:
+		if c.Op == token.LOR {
+			// (a == nil || b == nil): false means both non-nil.
+			return impliesNil(c.X, recv) || impliesNil(c.Y, recv)
+		}
+		if c.Op == token.EQL {
+			return isNilCompare(c, recv)
+		}
+	}
+	return false
+}
+
+func isNilCompare(b *ast.BinaryExpr, recv string) bool {
+	x, y := exprString(b.X), exprString(b.Y)
+	return (x == recv && y == "nil") || (y == recv && x == "nil")
+}
+
+// terminates reports whether a block always transfers control away:
+// its last statement is return, break, continue, goto, or panic.
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch s := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// assignsTo reports whether stmt (shallowly or in nested statements)
+// assigns to the expression recv.
+func assignsTo(stmt ast.Stmt, recv string) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if exprString(lhs) == recv {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func containsNode(root, target ast.Node) bool {
+	if root == nil {
+		return false
+	}
+	return target.Pos() >= root.Pos() && target.End() <= root.End()
+}

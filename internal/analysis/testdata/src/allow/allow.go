@@ -1,0 +1,42 @@
+// Package allow exercises the //vbr:allow escape hatch. It is loaded
+// under fix/internal/lsq so the determinism rules apply. Two identical
+// violations: the suppressed one must vanish, the other must remain —
+// i.e. the hatch suppresses exactly one finding. Unused and malformed
+// directives are themselves findings.
+package allow
+
+import "time"
+
+// Suppressed documents a deliberate wall-clock read.
+func Suppressed() int64 {
+	//vbr:allow determinism fixture demonstrates a documented exception
+	return time.Now().UnixNano()
+}
+
+// Trailing uses the same-line directive placement.
+func Trailing() int64 {
+	return time.Now().UnixNano() //vbr:allow determinism same-line placement works too
+}
+
+// NotSuppressed is the identical violation without a directive.
+func NotSuppressed() int64 {
+	return time.Now().UnixNano() // want determinism "time.Now reads the wall clock"
+}
+
+// WrongAnalyzer suppresses the wrong analyzer: the finding stays and
+// the directive is reported unused.
+func WrongAnalyzer() int64 {
+	//vbr:allow hotalloc misdirected suppression // want vbrlint "unused //vbr:allow"
+	return time.Now().UnixNano() // want determinism "time.Now reads the wall clock"
+}
+
+// Unused sits on nothing.
+func Unused() {
+	//vbr:allow determinism nothing violated here // want vbrlint "unused //vbr:allow"
+}
+
+// Malformed is missing its reason.
+func Malformed() {
+	// want-below vbrlint "malformed //vbr:allow"
+	//vbr:allow determinism
+}

@@ -1,0 +1,87 @@
+// Package det is loaded under the import path fix/internal/pipeline,
+// so the full determinism rule set applies: no wall clock, no global
+// RNG, no unsorted map iteration, no multi-way select.
+package det
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Timing reads the wall clock three ways.
+func Timing() time.Duration {
+	start := time.Now()          // want determinism "time.Now reads the wall clock"
+	time.Sleep(time.Millisecond) // want determinism "time.Sleep reads the wall clock"
+	return time.Since(start)     // want determinism "time.Since reads the wall clock"
+}
+
+// GlobalRand consults the process-global generator.
+func GlobalRand() int {
+	return rand.Intn(8) // want determinism "global generator"
+}
+
+// SeededRand builds an explicit seed-derived stream: allowed.
+func SeededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(8)
+}
+
+// MapOrder folds map values in iteration order.
+func MapOrder(m map[int]int) []int {
+	var out []int
+	for _, v := range m { // want determinism "nondeterministic order"
+		out = append(out, v*2)
+	}
+	return out
+}
+
+// SortedCollect is the allowed collect-then-sort idiom.
+func SortedCollect(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// FilteredCollect filters during collection; still allowed, the sort
+// launders the order.
+func FilteredCollect(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		if k > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// UnsortedCollect collects but never sorts: flagged.
+func UnsortedCollect(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m { // want determinism "nondeterministic order"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Racy resolves a race between two channels.
+func Racy(a, b chan int) int {
+	select { // want determinism "select with 2 cases"
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// Blocking is a single-case select: allowed.
+func Blocking(a chan int) int {
+	select {
+	case v := <-a:
+		return v
+	}
+}

@@ -1,0 +1,9 @@
+// Package exitcode is a fixture stub of the shared exit-code table.
+package exitcode
+
+const (
+	// OK is the success exit.
+	OK = 0
+	// Err is the generic failure exit.
+	Err = 1
+)

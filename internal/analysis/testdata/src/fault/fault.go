@@ -1,0 +1,17 @@
+// Package fault is a fixture stub of the real injector for the
+// nilguard analyzer.
+package fault
+
+// Injector mirrors the real injector's nil-means-disabled contract.
+type Injector struct{ n int }
+
+// OnSquash requires a non-nil receiver.
+func (in *Injector) OnSquash(core int) { in.n += core }
+
+// Decide requires a non-nil receiver.
+func (in *Injector) Decide() bool { in.n++; return false }
+
+// Resolve calls through its own receiver: inside a hook method the
+// receiver is already guaranteed non-nil by the callers' guards, so
+// nilguard must not flag this ("already-guarded method").
+func (in *Injector) Resolve(core int) { in.OnSquash(core) }

@@ -1,0 +1,96 @@
+// Package guards exercises the nilguard analyzer against the stub hook
+// types: every accepted dominance pattern, and the rejections.
+package guards
+
+import (
+	"fix/internal/fault"
+	"fix/internal/trace"
+)
+
+// Core carries the two hook fields, nil when disabled.
+type Core struct {
+	tr  *trace.Tracer
+	flt *fault.Injector
+}
+
+// Unguarded would panic with tracing disabled.
+func (c *Core) Unguarded(e trace.Event) {
+	c.tr.Emit(e) // want nilguard "not dominated by a nil check"
+}
+
+// IfGuard is the canonical pattern.
+func (c *Core) IfGuard(e trace.Event) {
+	if c.tr != nil {
+		c.tr.Emit(e)
+	}
+}
+
+// ShortCircuit guards with &&.
+func (c *Core) ShortCircuit() bool {
+	return c.flt != nil && c.flt.Decide()
+}
+
+// OrGuard guards with the == nil || form.
+func (c *Core) OrGuard() bool {
+	return c.flt == nil || c.flt.Decide()
+}
+
+// EarlyOut guards with a terminating if at the top.
+func (c *Core) EarlyOut(e trace.Event) {
+	if c.tr == nil {
+		return
+	}
+	c.tr.Emit(e)
+}
+
+// ElseBranch calls in the else of an == nil check.
+func (c *Core) ElseBranch(e trace.Event) {
+	if c.tr == nil {
+		_ = e
+	} else {
+		c.tr.Emit(e)
+	}
+}
+
+// SwitchGuard uses a tagless-switch case condition.
+func (c *Core) SwitchGuard(e trace.Event) {
+	switch {
+	case c.tr != nil && e.Kind > 0:
+		c.tr.Emit(e)
+	}
+}
+
+// Reassigned invalidates its early-out guard before the call.
+func (c *Core) Reassigned(e trace.Event) {
+	if c.tr == nil {
+		return
+	}
+	c.tr = nil
+	c.tr.Emit(e) // want nilguard "not dominated by a nil check"
+}
+
+// FlushIsNilSafe needs no guard: Flush checks its own receiver.
+func (c *Core) FlushIsNilSafe() {
+	_ = c.tr.Flush()
+}
+
+// ClosureAfterGuard defines the closure after a dominating early-out.
+func (c *Core) ClosureAfterGuard(e trace.Event) func() {
+	if c.tr == nil {
+		return func() {}
+	}
+	return func() { c.tr.Emit(e) }
+}
+
+// LocalAlias guards through a rebound local.
+func (c *Core) LocalAlias(e trace.Event) {
+	t := c.tr
+	if t != nil {
+		t.Emit(e)
+	}
+}
+
+// UnguardedInjector covers the second hook type.
+func (c *Core) UnguardedInjector(n int) {
+	c.flt.OnSquash(n) // want nilguard "not dominated by a nil check"
+}

@@ -1,0 +1,61 @@
+// Package hot exercises the hotalloc analyzer: only functions carrying
+// the //vbr:hotpath annotation are checked.
+package hot
+
+import "fmt"
+
+type entry struct{ v int }
+
+type ring struct {
+	buf  []entry
+	free []*entry
+	name string
+}
+
+func take(v any) {}
+
+//vbr:hotpath
+func (r *ring) Bad(n int) {
+	e := new(entry)               // want hotalloc "new allocates"
+	p := &entry{v: n}             // want hotalloc "escapes to the heap"
+	s := []int{1, 2}              // want hotalloc "slice literal allocates"
+	m := map[int]int{}            // want hotalloc "map literal allocates"
+	r.free = append(r.free, p)    // want hotalloc "append to r.free"
+	r.name = fmt.Sprintf("%d", n) // want hotalloc "fmt.Sprintf allocates"
+	r.name += "x"                 // want hotalloc "string concatenation"
+	_, _, _ = e, s, m
+}
+
+//vbr:hotpath
+func (r *ring) BadConcat(a, b string) string {
+	return a + b // want hotalloc "string concatenation"
+}
+
+//vbr:hotpath
+func (r *ring) BadBox(n int) {
+	take(n) // want hotalloc "boxes it onto the heap"
+}
+
+//vbr:hotpath
+func (r *ring) BadClosure() func() int {
+	x := 1
+	return func() int { return x } // want hotalloc "closure captures"
+}
+
+//vbr:hotpath
+func (r *ring) GoodBox(p *entry) {
+	take(p) // pointer-shaped: fits the interface word, no allocation
+}
+
+//vbr:hotpath
+func (r *ring) Good(n int) int {
+	r.buf = r.buf[:0]
+	r.buf = append(r.buf, entry{v: n}) // reset proves retained capacity
+	e := entry{v: n}                   // value literal stays on the stack
+	return e.v + len(r.buf)
+}
+
+// NotHot has no annotation, so anything goes.
+func (r *ring) NotHot() string {
+	return fmt.Sprintf("%d", len(r.buf))
+}

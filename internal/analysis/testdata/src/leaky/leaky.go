@@ -1,0 +1,10 @@
+// Package leaky exercises the exitcode analyzer's internal/* rule: no
+// process exit at all, the driver owns the exit path.
+package leaky
+
+import "os"
+
+// Die hijacks the process from library code.
+func Die() {
+	os.Exit(2) // want exitcode "internal package"
+}

@@ -1,0 +1,28 @@
+// Command tool exercises the exitcode analyzer's cmd/* rules: exits
+// must go through the shared table.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"fix/internal/exitcode"
+)
+
+func main() {
+	if len(os.Args) > 9 {
+		os.Exit(1) // want exitcode "must be a constant from internal/exitcode"
+	}
+	if len(os.Args) > 8 {
+		log.Fatal("boom") // want exitcode "exits outside the internal/exitcode table"
+	}
+	if len(os.Args) > 7 {
+		log.Fatalf("boom %d", 7) // want exitcode "exits outside the internal/exitcode table"
+	}
+	if len(os.Args) > 6 {
+		os.Exit(exitcode.Err) // table constant: allowed
+	}
+	fmt.Println("ok")
+	os.Exit(exitcode.OK)
+}

@@ -1,0 +1,27 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestShippedTreeClean runs the full suite over the real module: the
+// shipped tree must stay finding-free (deliberate exceptions carry
+// //vbr:allow directives, and unused directives are findings too).
+// This is the same gate CI applies via `go run ./cmd/vbrlint ./...`.
+func TestShippedTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("shipped tree not lint-clean: %s", d)
+	}
+}

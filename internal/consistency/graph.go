@@ -1,6 +1,9 @@
 package consistency
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // OpKind distinguishes loads from stores.
 type OpKind int
@@ -120,7 +123,17 @@ func BuildWith(procs [][]Op, chains map[uint64][]Versioned, background func(addr
 		}
 	}
 
-	for addr, chain := range chains {
+	// Iterate the version chains in ascending address order: edge
+	// insertion order decides both the traced KGraphEdge stream and
+	// which node FindCycle happens to report, so map order here would
+	// leak into the fixed-seed reference outputs.
+	addrs := make([]uint64, 0, len(chains))
+	for addr := range chains {
+		addrs = append(addrs, addr)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, addr := range addrs {
+		chain := chains[addr]
 		// Position of each writer in the chain.
 		pos := make(map[Writer]int, len(chain))
 		for i, v := range chain {
@@ -185,8 +198,12 @@ func BuildWith(procs [][]Op, chains map[uint64][]Versioned, background func(addr
 			}
 		}
 		attach(readers[key{addr, InitialValue}], -1)
-		for w, k := range pos {
-			attach(readers[key{addr, w}], k)
+		// Attach in chain order, not pos-map order; the pos check keeps
+		// the duplicate-writer semantics (last occurrence wins).
+		for k, v := range chain {
+			if pos[v.W] == k {
+				attach(readers[key{addr, v.W}], k)
+			}
 		}
 	}
 	return g

@@ -1,0 +1,31 @@
+// Package exitcode is the single table of process exit codes shared by
+// every command in the module. The numeric values are a documented,
+// frozen contract: CI scripts, the fault-smoke workflow, and the
+// experiment drivers all branch on them, so a command must never invent
+// an ad-hoc literal. The exitcode static analyzer (internal/analysis)
+// enforces this: os.Exit in cmd/* may only be called with a constant
+// from this table, and internal packages may not call os.Exit at all.
+package exitcode
+
+const (
+	// OK is the success exit.
+	OK = 0
+	// Err covers usage errors and infrastructure failures (bad flags,
+	// unreadable files, profiling setup, failed sweep cells) — and, in
+	// vbrlint, any diagnostic finding.
+	Err = 1
+	// SCViolation is reported by vbrsim when the constraint-graph
+	// checker finds a cycle, i.e. the committed execution is not
+	// sequentially consistent.
+	SCViolation = 2
+	// Incomplete is reported when a run ends before reaching its commit
+	// target (e.g. the workload ran out of instructions).
+	Incomplete = 3
+	// Deadlock is reported when the forward-progress watchdog fires:
+	// no commit within the configured window, or a squash storm.
+	Deadlock = 4
+	// FaultEscape is reported when fault injection was enabled and at
+	// least one injected fault was neither detected nor repaired — the
+	// value-based filters missed a corruption they claim to catch.
+	FaultEscape = 5
+)

@@ -528,10 +528,18 @@ func (in *Injector) OnLoadCommit(core int, tag int64, cycle int64) {
 // OnSquash vacates pending injections on killed loads (tag >= fromTag):
 // the corruption left the machine with the squashed instruction.
 func (in *Injector) OnSquash(core int, fromTag int64, cycle int64) {
+	// resolve emits trace events and mutates in.live, so the vacated
+	// set must be collected and ordered before resolving: map order
+	// here would shuffle the traced event stream between runs.
+	var hits []liveKey
 	for key := range in.live {
 		if key.core == core && key.tag >= fromTag {
-			in.resolve(key.core, key.tag, cycle, Vacated)
+			hits = append(hits, key)
 		}
+	}
+	sort.Slice(hits, func(i, j int) bool { return hits[i].tag < hits[j].tag })
+	for _, key := range hits {
+		in.resolve(key.core, key.tag, cycle, Vacated)
 	}
 }
 

@@ -111,8 +111,8 @@ func (as *AllowedSet) WeakAllowed() bool {
 	if as.Test.Weak == nil {
 		return false
 	}
-	for _, o := range as.Outcomes {
-		if as.Test.Weak(o) {
+	for _, k := range as.Keys() {
+		if as.Test.Weak(as.Outcomes[k]) {
 			return true
 		}
 	}

@@ -545,8 +545,13 @@ func Summarize(vs []Verdict) Summary {
 		}
 	}
 	sum.UnsoundCaught = true
-	for _, caught := range unsound {
-		if !caught {
+	names := make([]string, 0, len(unsound))
+	for name := range unsound {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if !unsound[name] {
 			sum.UnsoundCaught = false
 		}
 	}

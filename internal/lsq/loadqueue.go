@@ -145,6 +145,8 @@ func (q *AssocLoadQueue) countSearch() {
 // and hybrid designs, searches for younger already-issued loads to the
 // same address that must squash (paper Figure 1(c)). It returns the
 // oldest such violation, if any.
+//
+//vbr:hotpath
 func (q *AssocLoadQueue) OnIssue(tag int64, addr uint64, forwardTag int64) (Squash, bool) {
 	e := q.find(tag)
 	if e == nil {
@@ -180,6 +182,8 @@ func (q *AssocLoadQueue) OnIssue(tag int64, addr uint64, forwardTag int64) (Squa
 // store's address resolves, issued younger loads to the same address
 // that did not forward from a yet-younger store are violations. The
 // oldest violation is returned.
+//
+//vbr:hotpath
 func (q *AssocLoadQueue) OnStoreAgen(addr uint64, storeTag int64) (Squash, bool) {
 	if q.bloom != nil && !q.bloom.MayContain(cache.BlockAddr(addr)) {
 		q.BloomFiltered++
@@ -218,6 +222,8 @@ func (q *AssocLoadQueue) OnStoreAgen(addr uint64, storeTag int64) (Squash, bool)
 // its coherence (the MP litmus test observes exactly that hole as
 // r=1,0 under probe contention). The oldest violation is returned
 // (hybrid queues mark instead of squashing).
+//
+//vbr:hotpath
 func (q *AssocLoadQueue) OnInvalidation(block uint64, commitTag int64) (Squash, bool) {
 	if q.mode == Insulated {
 		return Squash{}, false

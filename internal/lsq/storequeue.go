@@ -154,6 +154,8 @@ func (q *StoreQueue) Entry(tag int64) (StoreEntry, bool) {
 // level-two latency, and the level-two probe is skipped entirely when
 // the membership filter proves no resolved store there can match (and
 // no unresolved store could alias).
+//
+//vbr:hotpath
 func (q *StoreQueue) Search(addr uint64, loadTag int64) SearchResult {
 	q.Searches++
 	addr &^= 7

@@ -221,6 +221,8 @@ func (c *Core) LQLen() int {
 func (c *Core) SQLen() int { return c.sq.Len() }
 
 // Step advances the core by one cycle.
+//
+//vbr:hotpath
 func (c *Core) Step() {
 	c.portsUsed = 0
 	c.storeCommitted = false
@@ -467,6 +469,7 @@ func (c *Core) commit() {
 // ---------------------------------------------------------------------
 // Replay & compare stages (value-replay machines).
 
+//vbr:hotpath
 func (c *Core) replayStage() {
 	budget := c.cfg.ReplayPerCycle
 	depth := c.cfg.ReplayWindow

@@ -145,6 +145,8 @@ func newWriterRing(capacity int) *writerRing {
 // Push records a committed store's writer identity, evicting the oldest
 // record once the window is full. Tags must arrive in increasing order
 // (commit order guarantees this).
+//
+//vbr:hotpath
 func (r *writerRing) Push(tag int64, w consistency.Writer) {
 	if r.n == len(r.tags) {
 		r.tags[r.start] = tag
@@ -166,6 +168,8 @@ func (r *writerRing) Push(tag int64, w consistency.Writer) {
 
 // Lookup returns the writer recorded for tag, if it is still inside the
 // window. Safe on a nil ring (reports a miss).
+//
+//vbr:hotpath
 func (r *writerRing) Lookup(tag int64) (consistency.Writer, bool) {
 	if r == nil {
 		return 0, false

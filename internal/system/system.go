@@ -7,6 +7,7 @@ package system
 
 import (
 	"fmt"
+	"sort"
 
 	"vbmo/internal/cache"
 	"vbmo/internal/coherence"
@@ -216,20 +217,26 @@ func NewCustom(cfg config.Machine, program *prog.Program, inits []prog.ArchState
 // through untouched.
 func (s *System) wrapMessageFaults(core *pipeline.Core) (onInval, onFill func(block uint64)) {
 	id := core.ID
+	flt := s.Faults
+	if flt == nil {
+		// Only reachable if a caller ever bypasses the install-site
+		// check; the returned closures must still be safe to invoke.
+		return core.HandleExternalInvalidation, core.HandleExternalFill
+	}
 	onInval = func(block uint64) {
-		if dropped, extra := s.Faults.SnoopFate(id, s.CycleNum); dropped {
+		if dropped, extra := flt.SnoopFate(id, s.CycleNum); dropped {
 			return
 		} else if extra > 0 {
-			s.Faults.Defer(s.CycleNum+extra, func() { core.HandleExternalInvalidation(block) })
+			flt.Defer(s.CycleNum+extra, func() { core.HandleExternalInvalidation(block) })
 			return
 		}
 		core.HandleExternalInvalidation(block)
 	}
 	onFill = func(block uint64) {
-		if dropped, extra := s.Faults.FillFate(id, s.CycleNum); dropped {
+		if dropped, extra := flt.FillFate(id, s.CycleNum); dropped {
 			return
 		} else if extra > 0 {
-			s.Faults.Defer(s.CycleNum+extra, func() { core.HandleExternalFill(block) })
+			flt.Defer(s.CycleNum+extra, func() { core.HandleExternalFill(block) })
 			return
 		}
 		core.HandleExternalFill(block)
@@ -325,7 +332,7 @@ func (s *System) buildOps() ([][]consistency.Op, map[uint64][]consistency.Versio
 		}
 	}
 	chains := make(map[uint64][]consistency.Versioned)
-	for addr := range allAddrs(procs) {
+	for _, addr := range allAddrs(procs) {
 		if ch := s.Shadow.Chain(addr); len(ch) > 0 {
 			chains[addr] = ch
 		}
@@ -333,13 +340,20 @@ func (s *System) buildOps() ([][]consistency.Op, map[uint64][]consistency.Versio
 	return procs, chains
 }
 
-func allAddrs(procs [][]consistency.Op) map[uint64]struct{} {
-	out := make(map[uint64]struct{})
+// allAddrs returns the distinct word addresses touched by any stream,
+// in ascending order, so downstream consumers never see map order.
+func allAddrs(procs [][]consistency.Op) []uint64 {
+	seen := make(map[uint64]struct{})
 	for _, stream := range procs {
 		for _, op := range stream {
-			out[op.Addr] = struct{}{}
+			seen[op.Addr] = struct{}{}
 		}
 	}
+	out := make([]uint64, 0, len(seen))
+	for addr := range seen {
+		out = append(out, addr)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -369,6 +383,8 @@ func (s *System) Run(target uint64, opt Options) Result {
 // instructions (cumulative since the last ResetStats) or MaxCycles
 // elapses. Benchmarks and the allocation-regression tests use it to
 // measure steady-state windows without Result's allocations.
+//
+//vbr:hotpath
 func (s *System) Advance(target uint64, opt Options) {
 	maxCycles := opt.MaxCycles
 	if maxCycles == 0 {
