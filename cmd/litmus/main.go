@@ -26,6 +26,7 @@ import (
 	"strings"
 	"time"
 
+	"vbmo/internal/config"
 	"vbmo/internal/exitcode"
 	"vbmo/internal/fault"
 	"vbmo/internal/litmus"
@@ -42,6 +43,7 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "base seed for the perturbation streams")
 		jsonOut  = flag.Bool("json", false, "emit the verdict matrix as JSON instead of text")
 		oracle   = flag.Bool("oracle", false, "also print each test's SC-allowed outcome set")
+		cores    = flag.Int("cores", 0, "run every test on an SMP this wide, extra cores spinning (0 = each test's natural thread count)")
 		quiet    = flag.Bool("q", false, "suppress per-cell progress lines")
 
 		faultKinds  = flag.String("fault", "", "inject faults: comma-separated kinds (see internal/fault) or \"all\" (empty = off)")
@@ -131,9 +133,13 @@ func main() {
 		fc = &fault.Config{Kinds: ks, Rate: *faultRate, Seed: fseed}
 	}
 
+	if *cores < 0 || *cores > config.MaxCores {
+		fmt.Fprintf(os.Stderr, "-cores must be between 0 and %d\n", config.MaxCores)
+		os.Exit(exitcode.Err)
+	}
 	opts := litmus.SweepOptions{
 		Tests: tests, Configs: cfgs,
-		Runs: *runs, Workers: *workers, Seed: *seed,
+		Runs: *runs, Workers: *workers, Seed: *seed, Cores: *cores,
 		Fault: fc, Checkpoint: *resume, Retries: *retries, CellTimeout: *cellTimeout,
 	}
 	if !*jsonOut && !*quiet {

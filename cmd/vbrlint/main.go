@@ -1,8 +1,9 @@
-// Command vbrlint runs the project's static-analysis suite: four
-// analyzers (determinism, hotalloc, nilguard, exitcode) that turn the
-// simulator's runtime invariants — bit-identical fixed-seed outputs,
-// the allocation-free cycle loop, zero-cost disabled hooks, the CLI
-// exit contract — into compile-time checks. Stdlib-only: the module
+// Command vbrlint runs the project's static-analysis suite: five
+// analyzers (determinism, hotalloc, nilguard, exitcode, doccheck)
+// that turn the simulator's runtime and documentation invariants —
+// bit-identical fixed-seed outputs, the allocation-free cycle loop,
+// zero-cost disabled hooks, the CLI exit contract, a real package
+// comment on every package — into compile-time checks. Stdlib-only: the module
 // stays dependency-free.
 //
 //	vbrlint ./...                    # lint the whole module

@@ -56,6 +56,7 @@ func main() {
 		traceRing   = flag.Int("trace-ring", 512, "ring format: events retained")
 		traceFreeze = flag.String("trace-freeze", "", "ring format: freeze trigger: squash | replay-squash (empty = keep rolling)")
 		snapEvery   = flag.Int64("snapshot-interval", 0, "sample metrics snapshots every N cycles (0 = off)")
+		noFF        = flag.Bool("no-fastforward", false, "disable quiescence cycle-skipping (results are bit-identical either way; for A/B timing)")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -124,6 +125,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(exitcode.Err)
 	}
+	if *cores < 1 || *cores > config.MaxCores {
+		fmt.Fprintf(os.Stderr, "-cores must be between 1 and %d\n", config.MaxCores)
+		os.Exit(exitcode.Err)
+	}
 	if *seeds > 1 {
 		if *traceOut != "" {
 			fmt.Fprintln(os.Stderr, "-trace is incompatible with -seeds > 1 (interleaved runs would share one event stream)")
@@ -136,7 +141,7 @@ func main() {
 		runSeedSweep(cfg, work, sweepOptions{
 			cores: *cores, insts: *insts, baseSeed: *seed, seeds: *seeds,
 			parallel: *parallel, workers: *workers,
-			verifySC: *verifySC, jsonOut: *jsonOut,
+			verifySC: *verifySC, jsonOut: *jsonOut, noFF: *noFF,
 			fault: fc, wdCycles: *wdCycles,
 			cellTimeout: *cellTimeout, retries: *retries, journal: *resume,
 		})
@@ -207,7 +212,7 @@ func main() {
 
 	opt := system.Options{Cores: *cores, Seed: *seed, DMAInterval: 4000, DMABurst: 2,
 		TrackConsistency: *verifySC, Trace: tracer, SnapshotInterval: *snapEvery,
-		Fault: fc, WatchdogCycles: *wdCycles}
+		Fault: fc, WatchdogCycles: *wdCycles, NoFastForward: *noFF}
 	s := system.New(cfg, work, opt)
 	start := time.Now()
 	res := s.Run(*insts, opt)
@@ -228,6 +233,10 @@ func main() {
 		fmt.Printf("replays/instr=%.4f  sim-speed=%.0f inst/s\n",
 			float64(p.ReplayAccesses)/float64(p.Committed),
 			float64(p.Committed)/elapsed.Seconds())
+		if ffs := s.FastForwardStats(); ffs.Windows > 0 {
+			fmt.Printf("fast-forward: windows=%d skipped-cycles=%d (%.1f%% of cycles)\n",
+				ffs.Windows, ffs.SkippedCycles, 100*float64(ffs.SkippedCycles)/float64(max64(1, uint64(res.Cycles))))
+		}
 		if s.Metrics != nil {
 			fmt.Printf("snapshots: %d recorded  occupancy means: ROB=%.1f LQ=%.1f SQ=%.1f (core 0)\n",
 				len(s.Metrics.Snapshots),
@@ -437,6 +446,7 @@ type sweepOptions struct {
 	workers  int
 	verifySC bool
 	jsonOut  bool
+	noFF     bool
 
 	fault       *fault.Config
 	wdCycles    int64
@@ -499,6 +509,7 @@ func runSeedSweep(cfg config.Machine, work workload.Params, o sweepOptions) {
 			DMAInterval: 4000, DMABurst: 2,
 			TrackConsistency: o.verifySC,
 			WatchdogCycles:   o.wdCycles,
+			NoFastForward:    o.noFF,
 		}
 		if o.fault.Enabled() {
 			// Each cell draws its own fault stream, derived from its seed

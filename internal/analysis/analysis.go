@@ -82,6 +82,7 @@ func Analyzers() []*Analyzer {
 		HotAllocAnalyzer,
 		NilGuardAnalyzer,
 		ExitCodeAnalyzer,
+		DocCheckAnalyzer,
 	}
 }
 

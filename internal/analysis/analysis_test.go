@@ -25,6 +25,9 @@ var fixtureDirs = map[string]string{
 	"fix/cmd/tool":          "testdata/src/tool",
 	"fix/internal/leaky":    "testdata/src/leaky",
 	"fix/internal/lsq":      "testdata/src/allow",
+	"fix/internal/nodoc":    "testdata/src/nodoc",
+	"fix/internal/stubdoc":  "testdata/src/stubdoc",
+	"fix/internal/baddoc":   "testdata/src/baddoc",
 }
 
 var (
@@ -137,6 +140,13 @@ func TestExitCodeInternalFixture(t *testing.T) {
 	checkFixture(t, "fix/internal/leaky")
 }
 
+// The doccheck fixtures cover the three failure modes one per package:
+// no package comment at all, a stub comment, and a wrong-prefix
+// comment duplicated across two files.
+func TestDocCheckMissingFixture(t *testing.T) { checkFixture(t, "fix/internal/nodoc") }
+func TestDocCheckStubFixture(t *testing.T)    { checkFixture(t, "fix/internal/stubdoc") }
+func TestDocCheckPrefixFixture(t *testing.T)  { checkFixture(t, "fix/internal/baddoc") }
+
 // TestStubsClean: the hook stubs themselves must lint clean — in
 // particular, a hook method calling through its own receiver is
 // "already guarded" and must not be flagged.
@@ -177,6 +187,7 @@ func TestEachViolationFixtureNonzero(t *testing.T) {
 	for _, p := range []string{
 		"fix/internal/pipeline", "fix/internal/hot", "fix/internal/guards",
 		"fix/cmd/tool", "fix/internal/leaky", "fix/internal/lsq",
+		"fix/internal/nodoc", "fix/internal/stubdoc", "fix/internal/baddoc",
 	} {
 		if n := len(RunPackage(fixturePackage(t, p), Analyzers())); n == 0 {
 			t.Errorf("%s: want nonzero findings, got 0", p)

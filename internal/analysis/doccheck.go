@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+var DocCheckAnalyzer = &Analyzer{
+	Name: "doccheck",
+	Doc: "every package must carry a real package comment: one file owns a " +
+		"doc comment starting \"Package <name>\" (or \"Command <name>\" for main), " +
+		"long enough to say what the package is for",
+	Run: runDocCheck,
+}
+
+// docCheckMinWords is the stub threshold: a package comment shorter
+// than this cannot say what the package models, which paper section it
+// reproduces, or how it is used — the three things every package
+// comment in this tree answers. Real package comments here run 20-60
+// words; the fixture stubs run 11-14.
+const docCheckMinWords = 10
+
+func runDocCheck(pass *Pass) {
+	// parseDir returns files in directory order (sorted by name), so
+	// "the first file" is deterministic across runs and machines.
+	var docFiles []*ast.File
+	for _, f := range pass.Pkg.Files {
+		if f.Doc != nil {
+			docFiles = append(docFiles, f)
+		}
+	}
+	if len(docFiles) == 0 {
+		if len(pass.Pkg.Files) > 0 {
+			f := pass.Pkg.Files[0]
+			pass.Reportf(f.Package, "package %s has no package comment; add a doc comment starting %q to exactly one file",
+				f.Name.Name, docPrefix(f.Name.Name))
+		}
+		return
+	}
+	// Go convention (and this repo's detached-comment idiom): exactly
+	// one file carries the package comment. Extra copies drift apart.
+	for _, f := range docFiles[1:] {
+		pass.Reportf(f.Package, "duplicate package comment for %s (godoc concatenates them in file order); keep the one in %s and detach this one with a blank line",
+			f.Name.Name, pass.Pkg.Fset.Position(docFiles[0].Package).Filename)
+	}
+
+	f := docFiles[0]
+	text := strings.TrimSpace(f.Doc.Text())
+	// The prefix convention binds libraries everywhere and main
+	// packages under cmd/*; examples/* demos open with a scenario
+	// description instead, which godoc renders fine for demo code.
+	path := pass.Pkg.Path
+	inCmd := strings.Contains(path, "/cmd/") || strings.HasPrefix(path, "cmd/")
+	if f.Name.Name != "main" || inCmd {
+		prefix := docPrefix(f.Name.Name)
+		if !strings.HasPrefix(text, prefix+" ") && !strings.HasPrefix(text, prefix+".") &&
+			!strings.HasPrefix(text, prefix+",") && !strings.HasPrefix(text, prefix+":") {
+			pass.Reportf(f.Package, "package comment for %s should start with %q (godoc keys its package index on that prefix)",
+				f.Name.Name, prefix)
+		}
+	}
+	if words := len(strings.Fields(text)); words < docCheckMinWords {
+		pass.Reportf(f.Package, "package comment for %s is a stub (%d words, want at least %d): say what the package models and how it is used",
+			f.Name.Name, words, docCheckMinWords)
+	}
+}
+
+// docPrefix is the conventional first phrase of a package comment:
+// "Package <name>" for libraries, "Command <name>" for main packages,
+// where <name> is the command directory rather than "main".
+func docPrefix(pkgName string) string {
+	if pkgName == "main" {
+		return "Command"
+	}
+	return "Package " + pkgName
+}

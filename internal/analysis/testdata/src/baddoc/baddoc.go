@@ -1,0 +1,7 @@
+// This file collects assorted helpers and opens with prose that never
+// names the package, which defeats godoc's package-index convention
+// and is exactly what the prefix rule rejects.
+package baddoc // want doccheck "should start with"
+
+// Exported exists so the package has surface worth documenting.
+const Exported = 1

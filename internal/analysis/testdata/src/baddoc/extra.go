@@ -1,0 +1,7 @@
+// Package baddoc documents itself a second time in a second file, so
+// godoc would concatenate two package comments in file order and the
+// duplicate rule must flag the later copy.
+package baddoc // want doccheck "duplicate package comment"
+
+// Extra exists so this file has surface beyond its package clause.
+const Extra = 2

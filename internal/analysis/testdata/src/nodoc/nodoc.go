@@ -1,0 +1,4 @@
+package nodoc // want doccheck "no package comment"
+
+// Exported exists so the package has surface worth documenting.
+const Exported = 1

@@ -1,0 +1,5 @@
+// Package stubdoc spins.
+package stubdoc // want doccheck "is a stub"
+
+// Exported exists so the package has surface worth documenting.
+const Exported = 1

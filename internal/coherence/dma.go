@@ -34,6 +34,13 @@ type DMA struct {
 	Writes uint64
 }
 
+// NextAt returns the cycle at which the next burst is scheduled: Tick
+// is a no-op strictly before it. Zero until the first Tick (the agent
+// fires on the first Tick it observes). The system's quiescence
+// fast-forward uses it as a wake event: skipped windows never cross a
+// scheduled burst.
+func (d *DMA) NextAt() int64 { return d.nextAt }
+
 // Tick advances the agent to the given cycle, performing any due burst.
 func (d *DMA) Tick(cycle int64) {
 	if d.Interval <= 0 || cycle < d.nextAt {

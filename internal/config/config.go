@@ -10,6 +10,12 @@ import (
 	"vbmo/internal/lsq"
 )
 
+// MaxCores is the largest supported SMP width. The bound comes from
+// the coherence directory, which tracks each block's sharer set as a
+// 32-bit mask; the paper's largest system (and the default experiment
+// width) is 16-way.
+const MaxCores = 32
+
 // Scheme selects the memory-ordering mechanism.
 type Scheme int
 

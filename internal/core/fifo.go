@@ -54,38 +54,52 @@ type FIFOEntry struct {
 // FIFOQueue is the non-associative load queue: a simple in-order buffer
 // with head/tail access only. Its capacity can scale with the reorder
 // buffer because nothing in it is searched.
+//
+// The tags live in a dense parallel array (struct-of-arrays, DESIGN.md
+// §12): Find, Remove and Squash scan one int64 per load instead of
+// striding over the ten-word FIFOEntry payload, which is only touched
+// for the entry actually addressed. Both slices are preallocated to
+// capacity and their indices always align.
 type FIFOQueue struct {
+	tags    []int64
 	entries []FIFOEntry
 	cap     int
 }
 
 // NewFIFOQueue creates a queue with the given capacity.
 func NewFIFOQueue(capacity int) *FIFOQueue {
-	return &FIFOQueue{cap: capacity}
+	return &FIFOQueue{
+		cap:     capacity,
+		tags:    make([]int64, 0, capacity),
+		entries: make([]FIFOEntry, 0, capacity),
+	}
 }
 
 // Len returns the occupancy.
-func (q *FIFOQueue) Len() int { return len(q.entries) }
+func (q *FIFOQueue) Len() int { return len(q.tags) }
 
 // Full reports whether another load can dispatch.
-func (q *FIFOQueue) Full() bool { return len(q.entries) >= q.cap }
+func (q *FIFOQueue) Full() bool { return len(q.tags) >= q.cap }
 
 // Insert appends a load at dispatch, in program order.
 func (q *FIFOQueue) Insert(tag int64, pc uint64) bool {
 	if q.Full() {
 		return false
 	}
-	if n := len(q.entries); n > 0 && q.entries[n-1].Tag >= tag {
+	if n := len(q.tags); n > 0 && q.tags[n-1] >= tag {
 		panic("core: load tags must be inserted in program order")
 	}
+	q.tags = append(q.tags, tag)
 	q.entries = append(q.entries, FIFOEntry{Tag: tag, PC: pc})
 	return true
 }
 
 // Find returns the entry with the given tag, or nil.
+//
+//vbr:hotpath
 func (q *FIFOQueue) Find(tag int64) *FIFOEntry {
-	for i := range q.entries {
-		if q.entries[i].Tag == tag {
+	for i, t := range q.tags {
+		if t == tag {
 			return &q.entries[i]
 		}
 	}
@@ -102,8 +116,9 @@ func (q *FIFOQueue) Head() *FIFOEntry {
 
 // Remove deletes the load with the given tag (at commit).
 func (q *FIFOQueue) Remove(tag int64) {
-	for i := range q.entries {
-		if q.entries[i].Tag == tag {
+	for i, t := range q.tags {
+		if t == tag {
+			q.tags = append(q.tags[:i], q.tags[i+1:]...)
 			q.entries = append(q.entries[:i], q.entries[i+1:]...)
 			return
 		}
@@ -112,8 +127,9 @@ func (q *FIFOQueue) Remove(tag int64) {
 
 // Squash removes every load with tag >= fromTag.
 func (q *FIFOQueue) Squash(fromTag int64) {
-	for i := range q.entries {
-		if q.entries[i].Tag >= fromTag {
+	for i, t := range q.tags {
+		if t >= fromTag {
+			q.tags = q.tags[:i]
 			q.entries = q.entries[:i]
 			return
 		}

@@ -2,10 +2,13 @@
 // speed, as opposed to the simulated machines' performance that every
 // other experiment measures. It times steady-state simulation windows
 // (simulated instructions per wall second, allocations and bytes per
-// committed instruction) and whole-figure regenerations, and emits a
-// JSON report (BENCH_1.json) that can be diffed across commits. The
-// report embeds the pre-optimization reference numbers so a regression
-// is visible without checking out old code.
+// committed instruction), quiescence fast-forward A/B pairs, and
+// whole-figure regenerations, and emits a JSON report (BENCH_2.json)
+// that can be diffed across commits. The report embeds both the
+// pre-optimization reference numbers and the BENCH_1 throughput
+// baseline, and evaluates per-machine regression gates against the
+// latter (host speed normalized by the baseline/gzip cell) so CI can
+// fail on a slowdown without any external state.
 
 package experiments
 
@@ -14,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"reflect"
 	"runtime"
 	"time"
 
@@ -83,6 +87,61 @@ var prePR = PrePRBaseline{
 	SteadyBytesPerInstr:  189.3,
 }
 
+// Bench1Cell is one embedded BENCH_1 throughput reference point.
+type Bench1Cell struct {
+	Machine      string  `json:"machine"`
+	Workload     string  `json:"workload"`
+	Cores        int     `json:"cores"`
+	InstrsPerSec float64 `json:"instrs_per_sec"`
+}
+
+// Bench1Baseline embeds the committed BENCH_1.json reference so the
+// schema-2 report's regression gates are self-contained.
+type Bench1Baseline struct {
+	BenchMsPerOp float64      `json:"bench_ms_per_op"`
+	Cells        []Bench1Cell `json:"cells"`
+}
+
+// bench1 is the recorded BENCH_1.json throughput baseline (same host
+// class as prePR).
+var bench1 = Bench1Baseline{
+	BenchMsPerOp: 10.010683,
+	Cells: []Bench1Cell{
+		{"baseline", "gzip", 1, 2178520.976937206},
+		{"no-recent-snoop", "gzip", 1, 2133452.0101571516},
+		{"replay-all", "gzip", 1, 1810314.1247764996},
+		{"baseline", "ocean", 4, 2996004.661893016},
+	},
+}
+
+// FFCell is one quiescence fast-forward A/B measurement: the same
+// steady-state window simulated with skipping on and off. Identical
+// asserts the bit-identity contract on the pair's end-of-run results.
+type FFCell struct {
+	Machine  string `json:"machine"`
+	Workload string `json:"workload"`
+	Cores    int    `json:"cores"`
+	// OnInstrsPerSec / OffInstrsPerSec are the window speeds with
+	// fast-forward enabled / disabled; Speedup is their ratio.
+	OnInstrsPerSec  float64 `json:"on_instrs_per_sec"`
+	OffInstrsPerSec float64 `json:"off_instrs_per_sec"`
+	Speedup         float64 `json:"speedup"`
+	// SkippedFrac is the fraction of the enabled run's cycles covered
+	// by fast-forward windows.
+	SkippedFrac float64 `json:"skipped_frac"`
+	// Identical is true when the two runs' results (cycle count,
+	// pipeline statistics, every named counter) matched exactly.
+	Identical bool `json:"identical"`
+}
+
+// GateResult is one pass/fail regression gate evaluated by the bench
+// experiment; CI fails the build when any gate fails.
+type GateResult struct {
+	Name   string `json:"name"`
+	Pass   bool   `json:"pass"`
+	Detail string `json:"detail"`
+}
+
 // BenchReport is the BENCH_1.json document.
 type BenchReport struct {
 	Schema     int    `json:"schema"`
@@ -100,10 +159,19 @@ type BenchReport struct {
 	BenchAllocsPerOp float64 `json:"bench_allocs_per_op"`
 	// Throughput holds the steady-state simulation-speed cells.
 	Throughput []ThroughputCell `json:"throughput"`
+	// FastForward holds the quiescence-skip A/B cells.
+	FastForward []FFCell `json:"fast_forward"`
 	// Figures holds end-to-end figure regeneration wall times.
 	Figures []FigureTime `json:"figures"`
+	// Gates holds the evaluated regression gates; AllPass is their
+	// conjunction.
+	Gates   []GateResult `json:"gates"`
+	AllPass bool         `json:"all_pass"`
 	// PrePRBaseline is the fixed pre-optimization reference.
 	PrePRBaseline PrePRBaseline `json:"pre_pr_baseline"`
+	// Bench1Baseline is the embedded BENCH_1 throughput reference the
+	// gates compare against.
+	Bench1Baseline Bench1Baseline `json:"bench1_baseline"`
 }
 
 // measureThroughput warms one system past its cold-start phase and
@@ -112,7 +180,17 @@ type BenchReport struct {
 // clock stops, so the summary's allocations stay out of the window.
 func measureThroughput(machineName string, mc config.Machine, work workload.Params,
 	cores int, warm, window uint64) ThroughputCell {
-	opt := system.Options{Cores: cores, Seed: 1, DMAInterval: 4000, DMABurst: 2}
+	cell, _ := measureThroughputFF(machineName, mc, work, cores, warm, window, false)
+	return cell
+}
+
+// measureThroughputFF is measureThroughput with an explicit
+// fast-forward switch; it also returns the timed system for result
+// comparison and fast-forward accounting.
+func measureThroughputFF(machineName string, mc config.Machine, work workload.Params,
+	cores int, warm, window uint64, noFF bool) (ThroughputCell, *system.System) {
+	opt := system.Options{Cores: cores, Seed: 1, DMAInterval: 4000, DMABurst: 2,
+		NoFastForward: noFF}
 	s := system.New(mc, work, opt)
 	s.Advance(warm, opt)
 	s.ResetStats()
@@ -138,7 +216,28 @@ func measureThroughput(machineName string, mc config.Machine, work workload.Para
 		InstrsPerSec:   float64(committed) / wall,
 		AllocsPerInstr: float64(m1.Mallocs-m0.Mallocs) / float64(committed),
 		BytesPerInstr:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(committed),
+	}, s
+}
+
+// measureFF times the same steady-state window with fast-forward on
+// and off and checks the two runs' end states for bit-identity.
+func measureFF(machineName string, mc config.Machine, work workload.Params,
+	cores int, warm, window uint64) FFCell {
+	on, sOn := measureThroughputFF(machineName, mc, work, cores, warm, window, false)
+	off, sOff := measureThroughputFF(machineName, mc, work, cores, warm, window, true)
+	ffs := sOn.FastForwardStats()
+	cell := FFCell{
+		Machine:         machineName,
+		Workload:        work.Name,
+		Cores:           cores,
+		OnInstrsPerSec:  on.InstrsPerSec,
+		OffInstrsPerSec: off.InstrsPerSec,
+		Speedup:         on.InstrsPerSec / off.InstrsPerSec,
+		SkippedFrac:     float64(ffs.SkippedCycles) / maxf(float64(sOn.CycleNum), 1),
+		Identical: sOn.CycleNum == sOff.CycleNum &&
+			reflect.DeepEqual(sOn.Result(), sOff.Result()),
 	}
+	return cell
 }
 
 // benchWorkload resolves a workload by name, panicking on a typo —
@@ -159,14 +258,15 @@ func benchWorkload(name string) workload.Params {
 // reduced litmus sweep.
 func Bench(w io.Writer, cfg Config) BenchReport {
 	rep := BenchReport{
-		Schema:        1,
-		Generated:     time.Now().UTC().Format(time.RFC3339),
-		GoVersion:     runtime.Version(),
-		GOOS:          runtime.GOOS,
-		GOARCH:        runtime.GOARCH,
-		NumCPU:        runtime.NumCPU(),
-		GOMAXPROCS:    runtime.GOMAXPROCS(0),
-		PrePRBaseline: prePR,
+		Schema:         2,
+		Generated:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion:      runtime.Version(),
+		GOOS:           runtime.GOOS,
+		GOARCH:         runtime.GOARCH,
+		NumCPU:         runtime.NumCPU(),
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		PrePRBaseline:  prePR,
+		Bench1Baseline: bench1,
 	}
 
 	// Mirror BenchmarkSimulatorThroughput: cold construction plus a
@@ -207,6 +307,9 @@ func Bench(w io.Writer, cfg Config) BenchReport {
 		{"no-recent-snoop", "gzip", 1, 10000, 40000},
 		{"replay-all", "gzip", 1, 10000, 40000},
 		{"baseline", "ocean", 4, 2000, 6000},
+		{"baseline", "ocean", 16, 2000, 6000},
+		{"baseline", "spin", 1, 2000, 20000},
+		{"baseline", "spin-mp", 16, 300, 1200},
 	}
 	fmt.Fprintf(w, "\n== Simulator speed: steady-state windows ==\n")
 	fmt.Fprintf(w, "%-16s %-10s %5s %10s %12s %14s %12s\n",
@@ -218,6 +321,22 @@ func Bench(w io.Writer, cfg Config) BenchReport {
 		fmt.Fprintf(w, "%-16s %-10s %5d %10d %12.2f %14.0f %12.4f\n",
 			cell.Machine, cell.Workload, cell.Cores, cell.Instrs,
 			cell.WallSec*1e3, cell.InstrsPerSec, cell.AllocsPerInstr)
+	}
+
+	ffSpecs := []cellSpec{
+		{"baseline", "spin", 1, 2000, 20000},
+		{"baseline", "spin-mp", 16, 300, 1200},
+	}
+	fmt.Fprintf(w, "\n== Quiescence fast-forward A/B (same window, skip on/off) ==\n")
+	fmt.Fprintf(w, "%-16s %-10s %5s %14s %14s %9s %9s %10s\n",
+		"machine", "workload", "cores", "on instrs/s", "off instrs/s", "speedup", "skipped", "identical")
+	for _, c := range ffSpecs {
+		cell := measureFF(c.machine, machineFor(c.machine), benchWorkload(c.work),
+			c.cores, c.warm, c.window)
+		rep.FastForward = append(rep.FastForward, cell)
+		fmt.Fprintf(w, "%-16s %-10s %5d %14.0f %14.0f %8.1fx %8.1f%% %10t\n",
+			cell.Machine, cell.Workload, cell.Cores, cell.OnInstrsPerSec,
+			cell.OffInstrsPerSec, cell.Speedup, 100*cell.SkippedFrac, cell.Identical)
 	}
 
 	timeFigure := func(name string, fn func()) {
@@ -247,12 +366,92 @@ func Bench(w io.Writer, cfg Config) BenchReport {
 			Runs: 20, Workers: workers, Seed: cfg.Seed,
 		})
 	})
+	timeFigure("litmus-sweep-16", func() {
+		workers := 1
+		if cfg.Parallel {
+			workers = par.Workers(cfg.Workers)
+		}
+		litmus.Sweep(litmus.SweepOptions{
+			Tests: litmus.Battery(), Configs: litmus.Configs(),
+			Runs: 20, Workers: workers, Seed: cfg.Seed, Cores: 16,
+		})
+	})
+
+	evaluateGates(&rep)
+	fmt.Fprintf(w, "\n== Regression gates (vs embedded BENCH_1 baseline) ==\n")
+	for _, g := range rep.Gates {
+		status := "pass"
+		if !g.Pass {
+			status = "FAIL"
+		}
+		fmt.Fprintf(w, "%-32s %-4s %s\n", g.Name, status, g.Detail)
+	}
 
 	base := rep.Throughput[0]
 	fmt.Fprintf(w, "\nheadline: %.2fx end-to-end (ms/op), %.0fx fewer steady-state allocs/instr vs pre-optimization reference\n",
 		prePR.BenchMsPerOp/rep.BenchMsPerOp,
 		prePR.SteadyAllocsPerInstr/maxf(base.AllocsPerInstr, 1e-6))
 	return rep
+}
+
+// evaluateGates fills rep.Gates and rep.AllPass. Host speed varies
+// across CI machines, so the BENCH_1 comparison is normalized: the
+// current baseline/gzip cell against its embedded counterpart gives a
+// host scale factor, and every other shared cell must reach 90% of its
+// scaled reference. The fast-forward gates are host-independent: the
+// spin speedup must reach the 3x the optimization was built to
+// deliver, and every A/B pair must be bit-identical.
+func evaluateGates(rep *BenchReport) {
+	cur := func(machine, work string, cores int) *ThroughputCell {
+		for i := range rep.Throughput {
+			c := &rep.Throughput[i]
+			if c.Machine == machine && c.Workload == work && c.Cores == cores {
+				return c
+			}
+		}
+		return nil
+	}
+	hostScale := 1.0
+	if ref := cur(bench1.Cells[0].Machine, bench1.Cells[0].Workload, bench1.Cells[0].Cores); ref != nil {
+		hostScale = ref.InstrsPerSec / bench1.Cells[0].InstrsPerSec
+	}
+	for _, b1 := range bench1.Cells {
+		name := fmt.Sprintf("throughput/%s/%s/%d", b1.Machine, b1.Workload, b1.Cores)
+		c := cur(b1.Machine, b1.Workload, b1.Cores)
+		if c == nil {
+			rep.Gates = append(rep.Gates, GateResult{Name: name, Pass: false,
+				Detail: "cell missing from report"})
+			continue
+		}
+		want := 0.9 * hostScale * b1.InstrsPerSec
+		rep.Gates = append(rep.Gates, GateResult{
+			Name: name, Pass: c.InstrsPerSec >= want,
+			Detail: fmt.Sprintf("%.0f instrs/s, floor %.0f (host scale %.2f)",
+				c.InstrsPerSec, want, hostScale),
+		})
+	}
+	for _, f := range rep.FastForward {
+		name := fmt.Sprintf("fast-forward/%s/%s/%d", f.Machine, f.Workload, f.Cores)
+		pass, want := true, ""
+		if f.Workload == "spin" {
+			pass = f.Speedup >= 3
+			want = ", floor 3.0x"
+		}
+		rep.Gates = append(rep.Gates, GateResult{
+			Name: name + "/speedup", Pass: pass,
+			Detail: fmt.Sprintf("%.1fx%s", f.Speedup, want),
+		})
+		rep.Gates = append(rep.Gates, GateResult{
+			Name: name + "/bit-identical", Pass: f.Identical,
+			Detail: fmt.Sprintf("skip on/off results match: %t", f.Identical),
+		})
+	}
+	rep.AllPass = true
+	for _, g := range rep.Gates {
+		if !g.Pass {
+			rep.AllPass = false
+		}
+	}
 }
 
 func maxf(a, b float64) float64 {

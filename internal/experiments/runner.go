@@ -141,11 +141,19 @@ func (m *Matrix) Get(machine, work string) *Point {
 	return nil
 }
 
-// workloadSet returns the selected workloads.
+// workloadSet returns the selected workloads. With no explicit
+// selection, bench-only workloads are excluded so the figure sweeps
+// match the paper's workload set; naming one explicitly still works.
 func (c Config) workloadSet() []workload.Params {
 	all := workload.Catalog()
 	if len(c.Workloads) == 0 {
-		return all
+		var out []workload.Params
+		for _, w := range all {
+			if !w.BenchOnly {
+				out = append(out, w)
+			}
+		}
+		return out
 	}
 	want := map[string]bool{}
 	for _, w := range c.Workloads {

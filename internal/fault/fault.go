@@ -644,6 +644,24 @@ func (in *Injector) DeliverDue(now int64) {
 	}
 }
 
+// NextDue returns the earliest due cycle among undelivered deferred
+// messages; ok is false when none are pending. The system's quiescence
+// fast-forward uses it as a wake event: a skipped window never crosses
+// (or lands on) a deferred delivery, so quiescence is never declared
+// with a message due.
+func (in *Injector) NextDue() (due int64, ok bool) {
+	if len(in.pending) == 0 {
+		return 0, false
+	}
+	due = in.pending[0].due
+	for _, d := range in.pending[1:] {
+		if d.due < due {
+			due = d.due
+		}
+	}
+	return due, true
+}
+
 // PendingMessages returns the count of undelivered deferred messages.
 func (in *Injector) PendingMessages() int { return len(in.pending) }
 

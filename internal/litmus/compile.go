@@ -55,6 +55,17 @@ type Compiled struct {
 // runner's timing perturbation that staggers the threads' entry into
 // the test body. Threads beyond len(skew) get no prologue.
 func Compile(t *Test, skew []int) *Compiled {
+	return CompileOn(t, skew, 0)
+}
+
+// CompileOn is Compile for a machine with the given core count. A test
+// has a fixed thread shape, so scaling the litmus sweep to a wider SMP
+// (16-way; DESIGN.md §12) pads the extra cores with spin-only sections:
+// they commit jumps, share the bus, and contribute snoop traffic and
+// commit-target bookkeeping without touching the test's locations.
+// cores below the thread count (including 0) compiles for exactly the
+// test's threads.
+func CompileOn(t *Test, skew []int, cores int) *Compiled {
 	b := prog.NewBuilder(Entry)
 	c := &Compiled{
 		Test:   t,
@@ -104,6 +115,14 @@ func Compile(t *Test, skew []int) *Compiled {
 		if n := b.Pos() - start; n > longest {
 			longest = n
 		}
+	}
+	for pad := len(t.Threads); pad < cores; pad++ {
+		start := b.Pos()
+		spin := b.Here()
+		b.Branch(isa.OpJump, 0, spin)
+		var st prog.ArchState
+		st.PC = Entry + uint64(start)*prog.InstBytes
+		c.Inits = append(c.Inits, st)
 	}
 	c.Prog = b.Build()
 	c.MinCommits = uint64(longest) + 4

@@ -5,6 +5,7 @@ import (
 
 	"vbmo/internal/config"
 	"vbmo/internal/core"
+	"vbmo/internal/system"
 )
 
 // TestOracleSB pins down the SC-allowed set of the store-buffering
@@ -122,6 +123,94 @@ func TestCompile(t *testing.T) {
 	}
 	if len(slots) != iriw.NumLoads() {
 		t.Fatalf("%d load PCs mapped, want %d", len(slots), iriw.NumLoads())
+	}
+}
+
+// TestCompileOnPadding checks the 16-way form: the test's threads keep
+// their sections and the extra cores get distinct spin-only sections.
+func TestCompileOnPadding(t *testing.T) {
+	mp, _ := ByName("MP")
+	c := CompileOn(mp, nil, 16)
+	if len(c.Inits) != 16 {
+		t.Fatalf("MP compiled onto %d cores, want 16", len(c.Inits))
+	}
+	base := Compile(mp, nil)
+	for i, st := range base.Inits {
+		if c.Inits[i].PC != st.PC {
+			t.Fatalf("thread %d section moved: %#x vs %#x", i, c.Inits[i].PC, st.PC)
+		}
+	}
+	seen := map[uint64]bool{}
+	for i, st := range c.Inits {
+		if st.PC == 0 || seen[st.PC] {
+			t.Fatalf("core %d section PC %#x (zero or duplicate)", i, st.PC)
+		}
+		seen[st.PC] = true
+	}
+	if c.MinCommits != base.MinCommits {
+		t.Fatalf("padding changed MinCommits: %d vs %d", c.MinCommits, base.MinCommits)
+	}
+	// At or below the thread count, CompileOn is exactly Compile.
+	if n := len(CompileOn(mp, nil, 1).Inits); n != len(mp.Threads) {
+		t.Fatalf("CompileOn(_, _, 1) compiled %d cores, want %d", n, len(mp.Threads))
+	}
+}
+
+// TestSixteenWaySoundSB runs SB inside a 16-way SMP on every sound
+// configuration: the spinning extra cores must not perturb soundness
+// or completion.
+func TestSixteenWaySoundSB(t *testing.T) {
+	sb, _ := ByName("SB")
+	as := Allowed(sb)
+	for _, cfg := range Configs() {
+		if !cfg.Sound {
+			continue
+		}
+		for seed := uint64(0); seed < 4; seed++ {
+			res := RunOneFaultOn(cfg.Machine, sb, as, seed, nil, nil, 16)
+			if !res.OK {
+				t.Fatalf("%s seed %d: incomplete 16-way run", cfg.Name, seed)
+			}
+			if !res.Allowed {
+				t.Fatalf("%s seed %d: forbidden outcome %s", cfg.Name, seed, res.Key)
+			}
+			if res.Cycle {
+				t.Fatalf("%s seed %d: constraint-graph cycle on allowed outcome %s",
+					cfg.Name, seed, res.Key)
+			}
+		}
+	}
+}
+
+// TestFastForwardVerdictParity runs one compiled test with and without
+// the quiescence fast-forward and asserts the observed outcome, cycle
+// count, and committed totals are bit-identical (the system-level
+// equivalence contract, exercised on litmus code).
+func TestFastForwardVerdictParity(t *testing.T) {
+	mp, _ := ByName("MP")
+	for _, cores := range []int{len(mp.Threads), 16} {
+		comp := CompileOn(mp, nil, cores)
+		run := func(noFF bool) (Outcome, bool, int64, uint64) {
+			opt := system.Options{
+				Cores: len(comp.Inits), Seed: 0,
+				TrackConsistency: true, MaxCycles: maxCycles,
+				NoFastForward: noFF,
+			}
+			s := system.NewCustom(Configs()[0].Machine, comp.Prog, comp.Inits, opt)
+			comp.InitImage(s)
+			res := s.Run(comp.MinCommits, opt)
+			out, ok := comp.Extract(s)
+			return out, ok, res.Cycles, res.Pipe.Committed
+		}
+		outFF, okFF, cycFF, comFF := run(false)
+		outPlain, okPlain, cycPlain, comPlain := run(true)
+		if okFF != okPlain || cycFF != cycPlain || comFF != comPlain {
+			t.Fatalf("%d cores: run shape diverged: ok %v/%v cycles %d/%d committed %d/%d",
+				cores, okFF, okPlain, cycFF, cycPlain, comFF, comPlain)
+		}
+		if outFF.Key() != outPlain.Key() {
+			t.Fatalf("%d cores: outcome diverged: %s vs %s", cores, outFF.Key(), outPlain.Key())
+		}
 	}
 }
 

@@ -166,6 +166,15 @@ func RunOne(mc config.Machine, t *Test, as *AllowedSet, seed uint64, tr *trace.T
 // draws an independent, reproducible fault stream. A nil fc is exactly
 // RunOne.
 func RunOneFault(mc config.Machine, t *Test, as *AllowedSet, seed uint64, tr *trace.Tracer, fc *fault.Config) RunResult {
+	return RunOneFaultOn(mc, t, as, seed, tr, fc, 0)
+}
+
+// RunOneFaultOn is RunOneFault on a machine of the given core count:
+// cores beyond the test's threads run spin-only sections (CompileOn),
+// so the test executes inside a wider SMP with the extra cores
+// contributing bus traffic. cores at or below the thread count
+// (including 0) is exactly RunOneFault.
+func RunOneFaultOn(mc config.Machine, t *Test, as *AllowedSet, seed uint64, tr *trace.Tracer, fc *fault.Config, cores int) RunResult {
 	r := &rng{s: seed * 0x2545f4914f6cdd1d}
 	var p Perturb
 	if seed == 0 {
@@ -173,10 +182,10 @@ func RunOneFault(mc config.Machine, t *Test, as *AllowedSet, seed uint64, tr *tr
 	} else {
 		p = perturbFor(r, len(t.Threads))
 	}
-	comp := Compile(t, p.Skew)
+	comp := CompileOn(t, p.Skew, cores)
 
 	opt := system.Options{
-		Cores:            len(t.Threads),
+		Cores:            len(comp.Inits),
 		Seed:             seed,
 		TrackConsistency: true,
 		MaxCycles:        maxCycles,
@@ -341,6 +350,11 @@ type SweepOptions struct {
 	Seed uint64
 	// Progress, when non-nil, is called after each finished cell.
 	Progress func(done, total int, v Verdict)
+	// Cores, when positive, runs every test on a machine of this many
+	// cores, padding cores beyond a test's threads with spin-only
+	// sections (see CompileOn). Zero keeps each test at its natural
+	// thread count.
+	Cores int
 	// Fault, when enabled, injects faults into every run (per-run
 	// derived seeds; see RunOneFault).
 	Fault *fault.Config
@@ -389,6 +403,11 @@ func Sweep(o SweepOptions) []Verdict {
 			kinds[i] = k.String()
 		}
 		faultKey = fmt.Sprintf("|fault=%s@%g/%d", strings.Join(kinds, ","), o.Fault.Rate, o.Fault.Seed)
+	}
+	if o.Cores > 0 {
+		// Folded into the same suffix as the fault key so pre-existing
+		// natural-width journals keep resuming unchanged.
+		faultKey += fmt.Sprintf("|cores=%d", o.Cores)
 	}
 	cellKey := func(ti, ci int) string {
 		return fmt.Sprintf("%s|%s|runs=%d|seed=%d%s",
@@ -458,7 +477,7 @@ func Sweep(o SweepOptions) []Verdict {
 		// keeping run i of a cell reproducible in isolation.
 		base := o.Seed ^ (uint64(ti)<<40 | uint64(ci)<<32)
 		for i := 0; i < runs; i++ {
-			res := RunOneFault(cfg.Machine, t, allowed[ti], base+uint64(i), nil, o.Fault)
+			res := RunOneFaultOn(cfg.Machine, t, allowed[ti], base+uint64(i), nil, o.Fault, o.Cores)
 			if res.OK {
 				v.Histogram[res.Key]++
 				if !res.Allowed {

@@ -57,9 +57,24 @@ type SearchResult struct {
 // holds the most recent stores; older stores live in a larger, slower
 // level-two buffer whose lookups are avoided by a membership filter
 // when no resolved older store can match.
+//
+// Internally the queue is struct-of-arrays (DESIGN.md §12): the fields
+// every Search touches for every entry — tag, resolved address, and the
+// resolved bit — live in dense parallel arrays the scan walks without
+// loading the cold payload (PC, data), which is only read on a match.
+// All arrays are preallocated to capacity; steady state never grows
+// them. Indices align across all six arrays at all times.
 type StoreQueue struct {
-	entries []StoreEntry
-	cap     int
+	// Hot scan state, one element per in-flight store, program order.
+	tags   []int64
+	addrs  []uint64
+	addrOK []bool
+	// Cold payload, parallel to the hot arrays.
+	pcs    []uint64
+	data   []uint64
+	dataOK []bool
+
+	cap int
 	// Searches counts associative lookups (loads probing for
 	// forwarding).
 	Searches uint64
@@ -86,14 +101,22 @@ func (q *StoreQueue) EnableTwoLevel(l1Size, l2Latency, filterCounters int) {
 
 // NewStoreQueue creates a queue with the given capacity.
 func NewStoreQueue(capacity int) *StoreQueue {
-	return &StoreQueue{cap: capacity}
+	return &StoreQueue{
+		cap:    capacity,
+		tags:   make([]int64, 0, capacity),
+		addrs:  make([]uint64, 0, capacity),
+		addrOK: make([]bool, 0, capacity),
+		pcs:    make([]uint64, 0, capacity),
+		data:   make([]uint64, 0, capacity),
+		dataOK: make([]bool, 0, capacity),
+	}
 }
 
 // Len returns the current occupancy.
-func (q *StoreQueue) Len() int { return len(q.entries) }
+func (q *StoreQueue) Len() int { return len(q.tags) }
 
 // Full reports whether another store can be inserted.
-func (q *StoreQueue) Full() bool { return len(q.entries) >= q.cap }
+func (q *StoreQueue) Full() bool { return len(q.tags) >= q.cap }
 
 // Insert adds a store at dispatch; it fails when the queue is full.
 // Tags must arrive in increasing order.
@@ -101,49 +124,59 @@ func (q *StoreQueue) Insert(tag int64, pc uint64) bool {
 	if q.Full() {
 		return false
 	}
-	if n := len(q.entries); n > 0 && q.entries[n-1].Tag >= tag {
+	if n := len(q.tags); n > 0 && q.tags[n-1] >= tag {
 		panic("lsq: store tags must be inserted in program order")
 	}
-	q.entries = append(q.entries, StoreEntry{Tag: tag, PC: pc})
+	q.tags = append(q.tags, tag)
+	q.addrs = append(q.addrs, 0)
+	q.addrOK = append(q.addrOK, false)
+	q.pcs = append(q.pcs, pc)
+	q.data = append(q.data, 0)
+	q.dataOK = append(q.dataOK, false)
 	q.unresolved++
 	return true
 }
 
-func (q *StoreQueue) find(tag int64) *StoreEntry {
-	for i := range q.entries {
-		if q.entries[i].Tag == tag {
-			return &q.entries[i]
+// findIdx returns the index of the store with the given tag, or -1.
+func (q *StoreQueue) findIdx(tag int64) int {
+	for i, t := range q.tags {
+		if t == tag {
+			return i
 		}
 	}
-	return nil
+	return -1
 }
 
 // SetAddr records the store's resolved effective address (agen).
 func (q *StoreQueue) SetAddr(tag int64, addr uint64) {
-	if e := q.find(tag); e != nil {
-		if !e.AddrValid {
+	if i := q.findIdx(tag); i >= 0 {
+		if !q.addrOK[i] {
 			q.unresolved--
 			if q.filter != nil {
 				q.filter.Insert(addr &^ 7)
 			}
 		}
-		e.Addr = addr
-		e.AddrValid = true
+		q.addrs[i] = addr
+		q.addrOK[i] = true
 	}
 }
 
 // SetData records the store's data operand.
 func (q *StoreQueue) SetData(tag int64, data uint64) {
-	if e := q.find(tag); e != nil {
-		e.Data = data
-		e.DataValid = true
+	if i := q.findIdx(tag); i >= 0 {
+		q.data[i] = data
+		q.dataOK[i] = true
 	}
 }
 
 // Entry returns a copy of the entry with the given tag.
 func (q *StoreQueue) Entry(tag int64) (StoreEntry, bool) {
-	if e := q.find(tag); e != nil {
-		return *e, true
+	if i := q.findIdx(tag); i >= 0 {
+		return StoreEntry{
+			Tag: q.tags[i], PC: q.pcs[i],
+			Addr: q.addrs[i], AddrValid: q.addrOK[i],
+			Data: q.data[i], DataValid: q.dataOK[i],
+		}, true
 	}
 	return StoreEntry{}, false
 }
@@ -160,12 +193,12 @@ func (q *StoreQueue) Search(addr uint64, loadTag int64) SearchResult {
 	q.Searches++
 	addr &^= 7
 	var r SearchResult
+	n := len(q.tags)
 	l1Boundary := -1
 	if q.l1Size > 0 {
-		l1Boundary = len(q.entries) - q.l1Size
+		l1Boundary = n - q.l1Size
 	}
-	for i := len(q.entries) - 1; i >= 0; i-- {
-		e := &q.entries[i]
+	for i := n - 1; i >= 0; i-- {
 		if q.l1Size > 0 && i < l1Boundary {
 			// Crossing into the level-two buffer: consult the filter
 			// once. With no unresolved stores anywhere and a filter
@@ -177,20 +210,20 @@ func (q *StoreQueue) Search(addr uint64, loadTag int64) SearchResult {
 			q.L2Searches++
 			l1Boundary = -1 // count the crossing only once
 		}
-		if e.Tag >= loadTag {
+		if q.tags[i] >= loadTag {
 			continue
 		}
-		if !e.AddrValid {
+		if !q.addrOK[i] {
 			r.UnresolvedOlder = true
 			continue
 		}
-		if e.Addr&^7 == addr {
+		if q.addrs[i]&^7 == addr {
 			r.Match = true
-			r.MatchTag = e.Tag
-			r.MatchPC = e.PC
-			r.Data = e.Data
-			r.DataReady = e.DataValid
-			if q.l1Size > 0 && i < len(q.entries)-q.l1Size {
+			r.MatchTag = q.tags[i]
+			r.MatchPC = q.pcs[i]
+			r.Data = q.data[i]
+			r.DataReady = q.dataOK[i]
+			if q.l1Size > 0 && i < n-q.l1Size {
 				r.Latency = q.l2Latency
 			}
 			break
@@ -202,12 +235,11 @@ func (q *StoreQueue) Search(addr uint64, loadTag int64) SearchResult {
 // UnresolvedBefore reports whether any store older than tag has an
 // unresolved address.
 func (q *StoreQueue) UnresolvedBefore(tag int64) bool {
-	for i := range q.entries {
-		e := &q.entries[i]
-		if e.Tag >= tag {
+	for i, t := range q.tags {
+		if t >= tag {
 			break
 		}
-		if !e.AddrValid {
+		if !q.addrOK[i] {
 			return true
 		}
 	}
@@ -216,48 +248,57 @@ func (q *StoreQueue) UnresolvedBefore(tag int64) bool {
 
 // OldestTag returns the tag of the oldest in-flight store, or -1.
 func (q *StoreQueue) OldestTag() int64 {
-	if len(q.entries) == 0 {
+	if len(q.tags) == 0 {
 		return -1
 	}
-	return q.entries[0].Tag
+	return q.tags[0]
 }
 
 // HasOlderThan reports whether any store older than tag is in flight.
 func (q *StoreQueue) HasOlderThan(tag int64) bool {
-	return len(q.entries) > 0 && q.entries[0].Tag < tag
+	return len(q.tags) > 0 && q.tags[0] < tag
 }
 
 // Remove deletes the store with the given tag (at commit, after its
 // cache write).
 func (q *StoreQueue) Remove(tag int64) {
-	for i := range q.entries {
-		if q.entries[i].Tag == tag {
-			q.drop(&q.entries[i])
-			q.entries = append(q.entries[:i], q.entries[i+1:]...)
-			return
-		}
+	i := q.findIdx(tag)
+	if i < 0 {
+		return
 	}
+	q.dropAt(i)
+	q.tags = append(q.tags[:i], q.tags[i+1:]...)
+	q.addrs = append(q.addrs[:i], q.addrs[i+1:]...)
+	q.addrOK = append(q.addrOK[:i], q.addrOK[i+1:]...)
+	q.pcs = append(q.pcs[:i], q.pcs[i+1:]...)
+	q.data = append(q.data[:i], q.data[i+1:]...)
+	q.dataOK = append(q.dataOK[:i], q.dataOK[i+1:]...)
 }
 
 // Squash removes every store with tag >= fromTag.
 func (q *StoreQueue) Squash(fromTag int64) {
-	for i := range q.entries {
-		if q.entries[i].Tag >= fromTag {
-			for j := i; j < len(q.entries); j++ {
-				q.drop(&q.entries[j])
+	for i, t := range q.tags {
+		if t >= fromTag {
+			for j := i; j < len(q.tags); j++ {
+				q.dropAt(j)
 			}
-			q.entries = q.entries[:i]
+			q.tags = q.tags[:i]
+			q.addrs = q.addrs[:i]
+			q.addrOK = q.addrOK[:i]
+			q.pcs = q.pcs[:i]
+			q.data = q.data[:i]
+			q.dataOK = q.dataOK[:i]
 			return
 		}
 	}
 }
 
-// drop maintains the unresolved count and membership filter as an
-// entry leaves the queue.
-func (q *StoreQueue) drop(e *StoreEntry) {
-	if !e.AddrValid {
+// dropAt maintains the unresolved count and membership filter as the
+// entry at index i leaves the queue.
+func (q *StoreQueue) dropAt(i int) {
+	if !q.addrOK[i] {
 		q.unresolved--
 	} else if q.filter != nil {
-		q.filter.Remove(e.Addr &^ 7)
+		q.filter.Remove(q.addrs[i] &^ 7)
 	}
 }

@@ -35,7 +35,7 @@ type Core struct {
 	nextTag int64
 	rob     entryRing // reorder buffer, capacity ROBSize
 	iq      []*entry  // issue queue, preallocated to IQSize
-	pend    []*entry  // issued, awaiting completion; preallocated
+	pend    pendList  // issued, awaiting completion; preallocated
 	psd     []*entry  // stores awaiting data capture; preallocated
 	pool    pool
 
@@ -58,6 +58,10 @@ type Core struct {
 	noReplayArmed   bool
 
 	cycle int64
+
+	// ffStall is the dispatch stall kind the last Quiescent call
+	// recorded, consumed by FastForward (see quiesce.go).
+	ffStall stallKind
 
 	// CommitHook, if set, observes every committed instruction (the
 	// machine-equivalence oracle and the constraint-graph checker).
@@ -122,9 +126,9 @@ func New(id int, cfg config.Machine, p *prog.Program, mem *prog.Image, hier *cac
 		rob:             newEntryRing(cfg.ROBSize),
 		fetchQ:          newFetchRing(cfg.FetchBuf),
 		iq:              make([]*entry, 0, cfg.IQSize),
-		pend:            make([]*entry, 0, cfg.ROBSize),
 		psd:             make([]*entry, 0, cfg.SQSize),
 	}
+	c.pend.init(cfg.ROBSize)
 	c.pool.init(cfg.ROBSize)
 	c.arch.PC = entryPC
 	if cfg.Scheme == config.ValueReplay {
@@ -249,14 +253,17 @@ func (c *Core) writeback() {
 	// keeps iteration safe because we re-filter against the surviving
 	// prefix below.
 	i := 0
-	for i < len(c.pend) {
-		e := c.pend[i]
-		if e.done || e.doneCycle > c.cycle {
+	for i < c.pend.len() {
+		if c.pend.due[i] > c.cycle {
 			i++
 			continue
 		}
-		c.pend[i] = c.pend[len(c.pend)-1]
-		c.pend = c.pend[:len(c.pend)-1]
+		e := c.pend.entries[i]
+		if e.done {
+			i++
+			continue
+		}
+		c.pend.swapRemove(i)
 		if c.complete(e) {
 			// A squash occurred; c.pend was rebuilt. Restart.
 			i = 0
@@ -716,7 +723,7 @@ func (c *Core) issueALU(e *entry, units *int, lat int) bool {
 	e.inIQ = false
 	e.result = e.inst.Eval(s1, s2)
 	e.doneCycle = c.cycle + int64(lat)
-	c.pend = append(c.pend, e)
+	c.pend.push(e)
 	return true
 }
 
@@ -734,7 +741,7 @@ func (c *Core) issueBranch(e *entry, units *int) bool {
 	e.issued = true
 	e.inIQ = false
 	e.doneCycle = c.cycle + int64(c.cfg.IntLat)
-	c.pend = append(c.pend, e)
+	c.pend.push(e)
 	return true
 }
 
@@ -759,7 +766,7 @@ func (c *Core) issueStoreAgen(e *entry, units *int) bool {
 	e.issued = true
 	e.inIQ = false
 	e.doneCycle = c.cycle + int64(c.cfg.IntLat)
-	c.pend = append(c.pend, e)
+	c.pend.push(e)
 	return true
 }
 
@@ -841,7 +848,7 @@ func (c *Core) issueLoad(e *entry, b *fuBudget) (bool, bool) {
 	}
 	e.result = e.value
 	e.doneCycle = c.cycle + int64(lat)
-	c.pend = append(c.pend, e)
+	c.pend.push(e)
 	if c.trace != nil {
 		var flags uint64
 		if r.Match {
@@ -1176,7 +1183,7 @@ func (c *Core) squashFrom(fromTag int64, newPC uint64, branchRepair bool) {
 
 	// Filter the side lists.
 	c.iq = filterOlder(c.iq, fromTag)
-	c.pend = filterOlder(c.pend, fromTag)
+	c.pend.filterOlder(fromTag)
 	c.psd = filterOlder(c.psd, fromTag)
 
 	c.sq.Squash(fromTag)

@@ -61,6 +61,12 @@ type Options struct {
 	// snoop/fill delivery paths. Nil or zero-rate keeps every hook on
 	// its zero-cost disabled branch (DESIGN.md §10).
 	Fault *fault.Config
+	// NoFastForward disables the quiescence cycle-skipping fast-forward
+	// (DESIGN.md §12). The skip is bit-identical to plain stepping, so
+	// this exists for A/B equivalence tests and measurement, not for
+	// correctness. Fast-forward is also suspended automatically whenever
+	// OnCycle is set: a per-cycle hook must observe every cycle.
+	NoFastForward bool
 	// WatchdogCycles, when positive, arms the forward-progress watchdog:
 	// if no core commits an instruction for this many consecutive
 	// cycles, the run stops and System.Deadlock holds a structured
@@ -103,6 +109,8 @@ type System struct {
 	Deadlock *DeadlockReport
 	// wd is the armed watchdog (nil when disabled).
 	wd *watchdog
+	// ff accumulates quiescence fast-forward accounting (quiesce.go).
+	ff FFStats
 }
 
 // New builds a system running the given workload on the given machine
@@ -130,6 +138,10 @@ func New(cfg config.Machine, work workload.Params, opt Options) *System {
 func NewCustom(cfg config.Machine, program *prog.Program, inits []prog.ArchState, opt Options) *System {
 	if opt.Cores <= 0 {
 		opt.Cores = len(inits)
+	}
+	if opt.Cores > config.MaxCores {
+		panic(fmt.Sprintf("system: %d cores exceeds config.MaxCores (%d)",
+			opt.Cores, config.MaxCores))
 	}
 	img := prog.NewImage(opt.Seed)
 	bus := coherence.NewBus(opt.Cores, cfg.MemLatency)
@@ -390,16 +402,32 @@ func (s *System) Advance(target uint64, opt Options) {
 	if maxCycles == 0 {
 		maxCycles = int64(target)*200 + 1_000_000
 	}
+	// The quiescence fast-forward (quiesce.go) is on by default — it is
+	// bit-identical to plain stepping — but yields to the per-cycle hook,
+	// which must observe every cycle.
+	ff := !opt.NoFastForward && s.onCycle == nil
+	prevTotal := ^uint64(0) // sentinel: never matches a real total
+	idle := 0
 	for {
 		done := true
+		var total uint64
 		for _, c := range s.Cores {
+			total += c.Stats.Committed
 			if c.Stats.Committed < target {
 				done = false
-				break
 			}
 		}
 		if done || s.CycleNum >= maxCycles {
 			break
+		}
+		if total != prevTotal {
+			prevTotal = total
+			idle = 0
+		} else {
+			idle++
+		}
+		if ff && idle >= ffProbeIdle && s.tryFastForward(target, maxCycles) {
+			continue
 		}
 		if s.onCycle != nil {
 			s.onCycle(s.CycleNum)

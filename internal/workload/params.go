@@ -18,6 +18,11 @@ type Params struct {
 	Suite string
 	// Multi marks workloads intended for the multiprocessor system.
 	Multi bool
+	// BenchOnly marks workloads used only by the benchmark harness
+	// (cmd/experiments -experiment bench); they are excluded from the
+	// figure and litmus sweeps so the paper-facing outputs are
+	// unchanged by their presence.
+	BenchOnly bool
 
 	// Instruction mix targets. The remainder after loads, stores and
 	// branches is ALU work, split by the FP/Mul/Div fractions below.
@@ -235,6 +240,27 @@ func Catalog() []Params {
 			BranchBias: 0.6, SilentStores: 0.45, StoreAddrLate: 0.032,
 			ForwardFrac: 0.18, RAWHazard: 0.03,
 			SharedFrac: 0.07, HotFrac: 0.10, FalseSharing: 0.55, Barriers: 0.03},
+
+		// Benchmark-only workloads (excluded from figure/litmus sweeps).
+		// spin is a latency-bound pointer chase: nearly every access
+		// computes its base from the previous load's value over a
+		// footprint far beyond the caches, so the core spends hundreds
+		// of cycles per miss with an empty schedule — the stall-heavy
+		// shape the quiescence fast-forward (DESIGN.md §12) exists for.
+		{Name: "spin", Suite: "bench", BenchOnly: true, WorkingSet: 16 << 20,
+			Locality: 1, Stream: 0.001, PointerChase: 0.95,
+			LoadFrac: 0.42, StoreFrac: 0.04, BranchFrac: 0.05,
+			RandomBranches: 0.02, BranchBias: 0.9, LoopTrip: 64,
+			SilentStores: 0.20, StoreAddrLate: 0.004, RAWHazard: 0.01},
+		// spin-mp is the 16-way variant: the same chase per core plus a
+		// small shared hot set and barriers, so fast-forward windows are
+		// bounded by cross-core coherence traffic as well as misses.
+		{Name: "spin-mp", Suite: "bench", Multi: true, BenchOnly: true, WorkingSet: 16 << 20,
+			Locality: 1, Stream: 0.001, PointerChase: 0.95,
+			LoadFrac: 0.42, StoreFrac: 0.04, BranchFrac: 0.05,
+			RandomBranches: 0.02, BranchBias: 0.9, LoopTrip: 64,
+			SilentStores: 0.20, StoreAddrLate: 0.004, RAWHazard: 0.01,
+			SharedFrac: 0.02, HotFrac: 0.10, FalseSharing: 0.50, Barriers: 0.01},
 	}
 	for i := range list {
 		list[i] = list[i].sane()
@@ -253,22 +279,24 @@ func ByName(name string) (Params, bool) {
 	return Params{}, false
 }
 
-// Uniprocessor returns the catalog's uniprocessor workloads.
+// Uniprocessor returns the catalog's uniprocessor sweep workloads
+// (benchmark-only entries excluded).
 func Uniprocessor() []Params {
 	var out []Params
 	for _, p := range Catalog() {
-		if !p.Multi {
+		if !p.Multi && !p.BenchOnly {
 			out = append(out, p)
 		}
 	}
 	return out
 }
 
-// Multiprocessor returns the catalog's multiprocessor workloads.
+// Multiprocessor returns the catalog's multiprocessor sweep workloads
+// (benchmark-only entries excluded).
 func Multiprocessor() []Params {
 	var out []Params
 	for _, p := range Catalog() {
-		if p.Multi {
+		if p.Multi && !p.BenchOnly {
 			out = append(out, p)
 		}
 	}

@@ -30,8 +30,22 @@ func TestCatalogComplete(t *testing.T) {
 			t.Errorf("catalog missing %q", want)
 		}
 	}
-	if len(Uniprocessor())+len(Multiprocessor()) != len(cat) {
-		t.Error("uni + multi should partition the catalog")
+	benchOnly := 0
+	for _, p := range cat {
+		if p.BenchOnly {
+			benchOnly++
+		}
+	}
+	if benchOnly == 0 {
+		t.Error("catalog should carry bench-only workloads for the bench harness")
+	}
+	if len(Uniprocessor())+len(Multiprocessor())+benchOnly != len(cat) {
+		t.Error("uni + multi + bench-only should partition the catalog")
+	}
+	for _, p := range append(Uniprocessor(), Multiprocessor()...) {
+		if p.BenchOnly {
+			t.Errorf("%s: bench-only workload leaked into a sweep set", p.Name)
+		}
 	}
 	for _, p := range Multiprocessor() {
 		if !p.Multi {
