@@ -18,6 +18,17 @@ import (
 	"vbmo/internal/workload"
 )
 
+// benchRun runs the §5.1 matrix, failing the benchmark on an
+// infrastructure error (impossible without a checkpoint journal).
+func benchRun(b *testing.B, cfg experiments.Config, machines []string) *experiments.Matrix {
+	b.Helper()
+	m, err := experiments.Run(cfg, machines)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
 // benchCfg returns the benchmark-scale experiment configuration.
 func benchCfg() experiments.Config {
 	cfg := experiments.QuickConfig()
@@ -60,7 +71,7 @@ func BenchmarkTable2CAMModel(b *testing.B) {
 func BenchmarkFigure5(b *testing.B) {
 	cfg := benchCfg()
 	for i := 0; i < b.N; i++ {
-		m := experiments.Run(cfg, []string{"baseline", "no-recent-snoop"})
+		m := benchRun(b, cfg, []string{"baseline", "no-recent-snoop"})
 		experiments.Figure5(io.Discard, m)
 		var rel, n float64
 		for _, w := range cfg.Workloads {
@@ -80,7 +91,7 @@ func BenchmarkFigure5(b *testing.B) {
 func BenchmarkFigure6(b *testing.B) {
 	cfg := benchCfg()
 	for i := 0; i < b.N; i++ {
-		m := experiments.Run(cfg, []string{"baseline", "no-recent-snoop"})
+		m := benchRun(b, cfg, []string{"baseline", "no-recent-snoop"})
 		experiments.Figure6(io.Discard, m)
 		var rep, com float64
 		for _, w := range cfg.Workloads {
@@ -97,7 +108,7 @@ func BenchmarkFigure6(b *testing.B) {
 func BenchmarkFigure7(b *testing.B) {
 	cfg := benchCfg()
 	for i := 0; i < b.N; i++ {
-		m := experiments.Run(cfg, []string{"baseline", "replay-all"})
+		m := benchRun(b, cfg, []string{"baseline", "replay-all"})
 		experiments.Figure7(io.Discard, m)
 		var occ, n float64
 		for _, w := range cfg.Workloads {
@@ -115,7 +126,7 @@ func BenchmarkFigure7(b *testing.B) {
 func BenchmarkFigure8(b *testing.B) {
 	cfg := benchCfg()
 	for i := 0; i < b.N; i++ {
-		m := experiments.Run(cfg, []string{"no-recent-snoop", "baseline-lq16"})
+		m := benchRun(b, cfg, []string{"no-recent-snoop", "baseline-lq16"})
 		var rel, n float64
 		for _, w := range cfg.Workloads {
 			rep := m.Get("no-recent-snoop", w)

@@ -104,7 +104,12 @@ func main() {
 	if needMatrix[*which] {
 		fmt.Fprintf(w, "running §5.1 matrix: %d machines × workloads (uni %d instr, %d-way MP %d instr × %d samples)...\n",
 			len(experiments.MachineNames), cfg.UniInstr, cfg.MPCores, cfg.MPInstr, cfg.Samples)
-		m = experiments.Run(cfg, experiments.MachineNames)
+		var err error
+		m, err = experiments.Run(cfg, experiments.MachineNames)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(exitcode.Err)
+		}
 		if m.Resumed > 0 {
 			fmt.Fprintf(w, "resumed %d cell(s) from %s\n", m.Resumed, cfg.Checkpoint)
 		}
@@ -122,7 +127,10 @@ func main() {
 		experiments.Figure7(w, m)
 		experiments.SquashStats(w, m)
 		experiments.Power(w, m)
-		experiments.Figure8(w, cfg)
+		if err := experiments.Figure8(w, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			failed = true
+		}
 		experiments.RelatedWork(w, cfg)
 		if sum := experiments.LitmusMatrix(w, cfg); !sum.SoundOK || !sum.UnsoundCaught {
 			fmt.Fprintln(os.Stderr, "litmus battery failed")
@@ -141,7 +149,10 @@ func main() {
 	case "fig7":
 		experiments.Figure7(w, m)
 	case "fig8":
-		experiments.Figure8(w, cfg)
+		if err := experiments.Figure8(w, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(exitcode.Err)
+		}
 	case "squash":
 		experiments.SquashStats(w, m)
 	case "power":

@@ -165,7 +165,11 @@ func main() {
 	}
 
 	start := time.Now()
-	verdicts := litmus.Sweep(opts)
+	verdicts, err := litmus.Sweep(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(exitcode.Err)
+	}
 	sum := litmus.Summarize(verdicts)
 	elapsed := time.Since(start)
 

@@ -25,9 +25,16 @@ var simPackages = []string{
 
 // aggPackages aggregate simulator results. Their tables and JSON
 // reports must also be reproducible (no map-order output, no global
-// RNG), but measuring wall-clock time is their job, so the time rules
-// do not apply.
-var aggPackages = []string{"internal/experiments"}
+// RNG), but measuring wall-clock time is their job (experiments) or
+// they legitimately wait on it (the farm service's HTTP plumbing), so
+// the time rules do not apply. The farm is here because its whole value
+// proposition — content-addressed cell results shared across restarts —
+// collapses if any map-order or global-RNG nondeterminism leaks into a
+// cache key or a result fold.
+var aggPackages = []string{
+	"internal/experiments",
+	"internal/farm", "internal/farm/cachekey",
+}
 
 // Deliberately out of scope: internal/par (worker pools need select
 // and deadlines — determinism there is guaranteed by canonical-order

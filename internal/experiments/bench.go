@@ -348,33 +348,49 @@ func Bench(w io.Writer, cfg Config) BenchReport {
 	}
 	figCfg := cfg
 	figCfg.Workloads = []string{"gzip", "vortex", "tpcb", "ocean"}
+	// The timing closures re-run sweeps with budgets that differ from the
+	// user's main run, so a shared checkpoint journal would be rejected;
+	// the timed figures always run journal-free.
+	figCfg.Checkpoint = ""
 	fmt.Fprintf(w, "\n== Figure regeneration wall time (quick budgets) ==\n")
 	timeFigure("fig5-matrix", func() {
-		m := Run(figCfg, MachineNames)
+		m, err := Run(figCfg, MachineNames)
+		if err != nil {
+			fmt.Fprintf(w, "fig5-matrix: %v\n", err)
+			return
+		}
 		Figure5(io.Discard, m)
 	})
 	fig8Cfg := figCfg
 	fig8Cfg.Workloads = []string{"gzip"}
-	timeFigure("fig8", func() { Figure8(io.Discard, fig8Cfg) })
+	timeFigure("fig8", func() {
+		if err := Figure8(io.Discard, fig8Cfg); err != nil {
+			fmt.Fprintf(w, "fig8: %v\n", err)
+		}
+	})
 	timeFigure("litmus-sweep", func() {
 		workers := 1
 		if cfg.Parallel {
 			workers = par.Workers(cfg.Workers)
 		}
-		litmus.Sweep(litmus.SweepOptions{
+		if _, err := litmus.Sweep(litmus.SweepOptions{
 			Tests: litmus.Battery(), Configs: litmus.Configs(),
 			Runs: 20, Workers: workers, Seed: cfg.Seed,
-		})
+		}); err != nil {
+			fmt.Fprintf(w, "litmus-sweep: %v\n", err)
+		}
 	})
 	timeFigure("litmus-sweep-16", func() {
 		workers := 1
 		if cfg.Parallel {
 			workers = par.Workers(cfg.Workers)
 		}
-		litmus.Sweep(litmus.SweepOptions{
+		if _, err := litmus.Sweep(litmus.SweepOptions{
 			Tests: litmus.Battery(), Configs: litmus.Configs(),
 			Runs: 20, Workers: workers, Seed: cfg.Seed, Cores: 16,
-		})
+		}); err != nil {
+			fmt.Fprintf(w, "litmus-sweep-16: %v\n", err)
+		}
 	})
 
 	evaluateGates(&rep)

@@ -34,9 +34,9 @@ func TestSweepDeterminism(t *testing.T) {
 	machines := config.Names()
 
 	cfg.Parallel = false
-	serial := Run(cfg, machines)
+	serial := mustRun(t, cfg, machines)
 	cfg.Parallel = true
-	parallel := Run(cfg, machines)
+	parallel := mustRun(t, cfg, machines)
 
 	for _, mc := range machines {
 		for _, w := range cfg.Workloads {
@@ -68,13 +68,13 @@ func TestCheckpointResumeDeterminism(t *testing.T) {
 	}
 	machines := []string{"baseline", "replay-all"}
 
-	clean := Run(cfg, machines)
+	clean := mustRun(t, cfg, machines)
 
 	// Build a complete journal, then tear it: keep the header and half
 	// the cell records, append a truncated line.
 	journal := filepath.Join(t.TempDir(), "matrix.jsonl")
 	cfg.Checkpoint = journal
-	full := Run(cfg, machines)
+	full := mustRun(t, cfg, machines)
 	if len(full.Failed) != 0 {
 		t.Fatalf("journaled run failed cells: %v", full.Failed)
 	}
@@ -93,7 +93,7 @@ func TestCheckpointResumeDeterminism(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	resumed := Run(cfg, machines)
+	resumed := mustRun(t, cfg, machines)
 	if resumed.Resumed == 0 {
 		t.Fatal("nothing resumed from the torn journal")
 	}

@@ -6,6 +6,17 @@ import (
 	"testing"
 )
 
+// mustRun fails the test on a matrix infrastructure error (journal
+// open/fingerprint problems; impossible without a Checkpoint).
+func mustRun(t *testing.T, cfg Config, machines []string) *Matrix {
+	t.Helper()
+	m, err := Run(cfg, machines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
 func tinyCfg() Config {
 	return Config{
 		UniInstr:  6000,
@@ -20,7 +31,7 @@ func tinyCfg() Config {
 
 func TestMatrixShapeAndInvariants(t *testing.T) {
 	cfg := tinyCfg()
-	m := Run(cfg, MachineNames)
+	m := mustRun(t, cfg, MachineNames)
 	for _, mc := range MachineNames {
 		for _, w := range cfg.Workloads {
 			pt := m.Get(mc, w)
@@ -63,7 +74,7 @@ func TestMatrixShapeAndInvariants(t *testing.T) {
 
 func TestFigureRenderers(t *testing.T) {
 	cfg := tinyCfg()
-	m := Run(cfg, MachineNames)
+	m := mustRun(t, cfg, MachineNames)
 	var b bytes.Buffer
 	Figure5(&b, m)
 	Figure6(&b, m)
@@ -99,7 +110,7 @@ func TestFigure8Renderer(t *testing.T) {
 func TestWorkloadSubsetFilter(t *testing.T) {
 	cfg := tinyCfg()
 	cfg.Workloads = []string{"gzip"}
-	m := Run(cfg, []string{"baseline"})
+	m := mustRun(t, cfg, []string{"baseline"})
 	if m.Get("baseline", "gzip") == nil {
 		t.Fatal("selected workload missing")
 	}
@@ -112,9 +123,9 @@ func TestSerialMatchesParallel(t *testing.T) {
 	cfg := tinyCfg()
 	cfg.Workloads = []string{"gzip"}
 	cfg.Parallel = false
-	a := Run(cfg, []string{"baseline"})
+	a := mustRun(t, cfg, []string{"baseline"})
 	cfg.Parallel = true
-	b := Run(cfg, []string{"baseline"})
+	b := mustRun(t, cfg, []string{"baseline"})
 	ia := a.Get("baseline", "gzip").IPC.Mean()
 	ib := b.Get("baseline", "gzip").IPC.Mean()
 	if ia != ib {

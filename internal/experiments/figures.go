@@ -142,10 +142,15 @@ func Figure7(w io.Writer, m *Matrix) {
 // (no-recent-snoop + no-unresolved-store) against baselines whose
 // associative load queues are constrained to 16 and 32 entries; values
 // are replay IPC divided by constrained-baseline IPC (>1 means replay
-// is faster).
-func Figure8(w io.Writer, cfg Config) {
+// is faster). The error is non-nil only when cfg.Checkpoint names an
+// unusable journal (Figure 8 sweeps a different machine set than the
+// §5.1 matrix, so sharing one journal path cannot work).
+func Figure8(w io.Writer, cfg Config) error {
 	machines := []string{"no-recent-snoop", "baseline-lq32", "baseline-lq16"}
-	m := Run(cfg, machines)
+	m, err := Run(cfg, machines)
+	if err != nil {
+		return err
+	}
 	uni, mp := m.workloadNames()
 	fmt.Fprintln(w, "=== Figure 8: replay speedup over constrained load queue sizes ===")
 	cols := []string{"vs lq32", "vs lq16"}
@@ -177,6 +182,7 @@ func Figure8(w io.Writer, cfg Config) {
 		section("-- multiprocessor --", mp)
 	}
 	fmt.Fprintln(w, "(paper: replay ≈ +1.0% vs 32-entry; avg +8%, max +34% vs 16-entry)")
+	return nil
 }
 
 // SquashStats prints the §5.1 squash-elimination statistics: the

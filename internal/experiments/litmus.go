@@ -31,10 +31,16 @@ func LitmusMatrix(w io.Writer, cfg Config) litmus.Summary {
 	cols := litmus.Configs()
 	fmt.Fprintf(w, "\n== Litmus battery: %d tests × %d configs × %d perturbed runs ==\n",
 		len(tests), len(cols), runs)
-	verdicts := litmus.Sweep(litmus.SweepOptions{
+	verdicts, err := litmus.Sweep(litmus.SweepOptions{
 		Tests: tests, Configs: cols,
 		Runs: runs, Workers: workers, Seed: cfg.Seed,
 	})
+	if err != nil {
+		// No checkpoint is configured here, so this cannot fire today;
+		// report it as an infrastructure failure if it ever does.
+		fmt.Fprintf(w, "litmus sweep error: %v\n", err)
+		return litmus.Summary{Errors: []string{err.Error()}}
+	}
 	byCell := make(map[string]litmus.Verdict, len(verdicts))
 	for _, v := range verdicts {
 		byCell[v.Test+"/"+v.Config] = v

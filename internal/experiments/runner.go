@@ -168,15 +168,16 @@ func (c Config) workloadSet() []workload.Params {
 	return out
 }
 
-// cellObs is the raw measurement of one (machine, workload, sample)
+// CellObs is the raw measurement of one (machine, workload, sample)
 // cell. Cells run independently — possibly on different workers, in
 // any order — and are folded into Points afterwards in canonical cell
 // order, so the Sample observation sequences (and therefore the whole
 // Matrix) are bit-identical between serial and parallel execution.
 // Fields are exported with JSON tags because the checkpoint journal
-// round-trips cells through encoding/json; Go's float64 encoding is
-// exact, so a journaled observation folds identically to a fresh one.
-type cellObs struct {
+// (and the farm service's result cache) round-trip cells through
+// encoding/json; Go's float64 encoding is exact, so a journaled
+// observation folds identically to a fresh one.
+type CellObs struct {
 	IPC        float64 `json:"ipc"`
 	L1DTotal   float64 `json:"l1d_total"`
 	ReplayAll  float64 `json:"replay_all"`
@@ -189,8 +190,13 @@ type cellObs struct {
 	ConsSquash float64 `json:"cons_squash"`
 }
 
-// measureCell executes one sample and returns its observations.
-func measureCell(mc config.Machine, work workload.Params, cores int, instr uint64, seed uint64) cellObs {
+// MeasureCell executes one sample — warm to steady state, then measure
+// a fixed committed-instruction window — and returns its observations.
+// It is exported as the farm service's unit of execution for sweep
+// jobs: the same (machine, workload, cores, instr, seed) cell produces
+// the same observations whether it runs here, in a farm worker, or is
+// replayed from a journal.
+func MeasureCell(mc config.Machine, work workload.Params, cores int, instr uint64, seed uint64) CellObs {
 	opt := system.Options{
 		Cores: cores, Seed: seed,
 		DMAInterval: 4000, DMABurst: 2,
@@ -201,7 +207,7 @@ func measureCell(mc config.Machine, work workload.Params, cores int, instr uint6
 	s.Run(instr/2, opt)
 	s.ResetStats()
 	res := s.Run(instr, opt)
-	o := cellObs{
+	o := CellObs{
 		IPC:        res.IPC,
 		L1DTotal:   float64(res.Pipe.TotalL1DAccesses()),
 		ReplayAll:  float64(res.Pipe.ReplayAccesses),
@@ -222,7 +228,7 @@ func measureCell(mc config.Machine, work workload.Params, cores int, instr uint6
 }
 
 // foldCell appends one cell's observations to its point.
-func foldCell(pt *Point, o cellObs) {
+func foldCell(pt *Point, o CellObs) {
 	pt.IPC.Observe(o.IPC)
 	pt.L1DTotal.Observe(o.L1DTotal)
 	pt.ReplayAll.Observe(o.ReplayAll)
@@ -240,8 +246,10 @@ func foldCell(pt *Point, o cellObs) {
 // workloads on MPCores with Samples samples). The unit of parallelism
 // is the (machine, workload, sample) cell — each sample already has a
 // deterministic derived seed, so samples of one point spread across
-// the worker pool like any other cell.
-func Run(cfg Config, machines []string) *Matrix {
+// the worker pool like any other cell. A bad checkpoint path or a
+// journal belonging to a different sweep is returned as an error (the
+// CLI maps it to the exit-code table) rather than panicking.
+func Run(cfg Config, machines []string) (*Matrix, error) {
 	m := &Matrix{Cfg: cfg, Points: make(map[string]map[string]*Point)}
 	type cell struct {
 		machine string
@@ -280,11 +288,11 @@ func Run(cfg Config, machines []string) *Matrix {
 			strings.Join(machines, ","))
 		var err error
 		if journal, err = par.OpenJournal(cfg.Checkpoint, fp); err != nil {
-			panic(err) // a bad checkpoint path/fingerprint is a setup error
+			return nil, err
 		}
 		defer journal.Close()
 	}
-	obs := make([]cellObs, len(cells))
+	obs := make([]CellObs, len(cells))
 	var todo []int
 	for i, c := range cells {
 		if journal != nil && journal.Lookup(key(c), &obs[i]) {
@@ -299,7 +307,7 @@ func Run(cfg Config, machines []string) *Matrix {
 	}, len(todo), func(j int) error {
 		i := todo[j]
 		c := cells[i]
-		obs[i] = measureCell(machineFor(c.machine), c.work, c.cores, c.instr, c.seed)
+		obs[i] = MeasureCell(machineFor(c.machine), c.work, c.cores, c.instr, c.seed)
 		if journal != nil {
 			return journal.Record(key(c), obs[i])
 		}
@@ -319,7 +327,7 @@ func Run(cfg Config, machines []string) *Matrix {
 			foldCell(m.Points[c.machine][c.work.Name], obs[i])
 		}
 	}
-	return m
+	return m, nil
 }
 
 // workloadNames returns the matrix's workloads, uniprocessor first.

@@ -1,0 +1,66 @@
+package farm
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"testing"
+)
+
+// TestCachePersistence: results put under a content key survive a
+// close/reopen byte-for-byte, and the hit/miss counters track lookups.
+func TestCachePersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	c, err := OpenCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := json.RawMessage(`{"ipc":0.3333333333333333,"cycles":1234}`)
+	var got json.RawMessage
+	if c.Get("k1", &got) {
+		t.Fatal("phantom hit on an empty cache")
+	}
+	if err := c.Put("k1", want); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Get("k1", &got) || !bytes.Equal(got, want) {
+		t.Fatalf("got %s, want %s", got, want)
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats hits=%d misses=%d, want 1/1", hits, misses)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := OpenCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if c2.Len() != 1 {
+		t.Fatalf("reopened cache holds %d entries, want 1", c2.Len())
+	}
+	got = nil
+	if !c2.Get("k1", &got) || !bytes.Equal(got, want) {
+		t.Fatalf("after reopen got %s, want %s", got, want)
+	}
+}
+
+// TestCacheFirstWriteWins: duplicate keys keep the original bytes — for
+// a content-addressed store, equal keys must mean equal results, so the
+// second write is redundant by definition.
+func TestCacheFirstWriteWins(t *testing.T) {
+	c, err := OpenCache(filepath.Join(t.TempDir(), "results.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Put("k", json.RawMessage(`"first"`))
+	c.Put("k", json.RawMessage(`"second"`))
+	var got json.RawMessage
+	if !c.Get("k", &got) || string(got) != `"first"` {
+		t.Fatalf("got %s, want \"first\"", got)
+	}
+}

@@ -1,0 +1,109 @@
+package cachekey
+
+import (
+	"strings"
+	"testing"
+
+	"vbmo/internal/config"
+	"vbmo/internal/fault"
+	"vbmo/internal/workload"
+)
+
+// TestHashDeterministic: equal inputs hash equal, across repeated calls
+// and regardless of construction order — no pointer identity or map
+// iteration order may leak into the digest.
+func TestHashDeterministic(t *testing.T) {
+	a, _ := config.ByName("baseline")
+	b, _ := config.ByName("baseline")
+	if Hash(a) != Hash(b) {
+		t.Fatal("two independently-built copies of the same machine hash differently")
+	}
+	if Hash(a) != Hash(a) {
+		t.Fatal("hash of the same value is not stable across calls")
+	}
+	// Maps marshal with sorted keys, so insertion order is invisible.
+	m1 := map[string]int{}
+	m1["x"] = 1
+	m1["a"] = 2
+	m1["q"] = 3
+	m2 := map[string]int{}
+	m2["q"] = 3
+	m2["a"] = 2
+	m2["x"] = 1
+	if Hash(m1) != Hash(m2) {
+		t.Fatal("map insertion order changed the hash")
+	}
+}
+
+// TestMachineFieldSensitivity: any semantically relevant field change
+// must change the machine digest.
+func TestMachineFieldSensitivity(t *testing.T) {
+	base, ok := config.ByName("baseline")
+	if !ok {
+		t.Fatal("baseline machine missing")
+	}
+	ref := Machine(base)
+	mod := base
+	mod.ROBSize++
+	if Machine(mod) == ref {
+		t.Fatal("ROB size change did not change the digest")
+	}
+	mod = base
+	mod.Name = "renamed"
+	if Machine(mod) == ref {
+		t.Fatal("rename did not change the digest")
+	}
+	other, ok := config.ByName("replay-all")
+	if !ok {
+		t.Fatal("replay-all machine missing")
+	}
+	if Machine(other) == ref {
+		t.Fatal("distinct machines collide")
+	}
+}
+
+// TestWorkloadAndFaultDigests: workloads differ pairwise; the nil fault
+// plan has a digest distinct from every enabled plan; a rate change
+// changes an enabled plan's digest.
+func TestWorkloadAndFaultDigests(t *testing.T) {
+	seen := map[string]string{}
+	for _, w := range workload.Catalog() {
+		d := Workload(w)
+		if prev, dup := seen[d]; dup {
+			t.Fatalf("workloads %s and %s collide", prev, w.Name)
+		}
+		seen[d] = w.Name
+	}
+	off := Fault(nil)
+	on := Fault(&fault.Config{Kinds: []fault.Kind{fault.LoadValue}, Rate: 0.5, Seed: 1})
+	if off == on {
+		t.Fatal("nil and enabled fault plans collide")
+	}
+	on2 := Fault(&fault.Config{Kinds: []fault.Kind{fault.LoadValue}, Rate: 0.25, Seed: 1})
+	if on == on2 {
+		t.Fatal("fault rate change did not change the digest")
+	}
+}
+
+// TestVersionShape: the fingerprint embeds the schema constant (so a
+// schema bump invalidates every cache) and is memoized-stable.
+func TestVersionShape(t *testing.T) {
+	v := Version()
+	if !strings.HasPrefix(v, Schema+"|") {
+		t.Fatalf("version %q does not start with schema %q", v, Schema)
+	}
+	if v != Version() {
+		t.Fatal("version is not stable within a process")
+	}
+}
+
+// TestJoinInjective: joined parts cannot collide by concatenation
+// (the separator never appears in hex digests or decimal numbers).
+func TestJoinInjective(t *testing.T) {
+	if Join("ab", "c") == Join("a", "bc") {
+		t.Fatal("join is not injective over part boundaries")
+	}
+	if !strings.Contains(Join("a", "b"), "|") {
+		t.Fatal("join separator missing")
+	}
+}

@@ -1,0 +1,120 @@
+// The farm client: a thin typed wrapper over the HTTP API, shared by
+// the vbrfarm CLI's submit/status/results modes and the end-to-end
+// tests. Every method round-trips the same JSON shapes the server
+// serves, so a CLI against a live farm and a test against an in-process
+// one exercise identical code.
+
+package farm
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client talks to a farm server at Base (e.g. "http://127.0.0.1:8373").
+type Client struct {
+	Base string
+	// HTTP overrides the transport (nil = http.DefaultClient).
+	HTTP *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) url(path string) string {
+	return strings.TrimRight(c.Base, "/") + path
+}
+
+// decode reads a JSON response, turning non-2xx statuses into errors
+// that carry the server's message.
+func decode(resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("farm: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit posts a job spec. With fresh set, a job this server already
+// completed is re-run through the result cache (cells hit; nothing
+// re-simulates) so cache behaviour can be measured.
+func (c *Client) Submit(spec JobSpec, fresh bool) (JobStatus, error) {
+	var st JobStatus
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return st, err
+	}
+	url := c.url("/v1/jobs")
+	if fresh {
+		url += "?fresh=1"
+	}
+	resp, err := c.httpClient().Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return st, err
+	}
+	return st, decode(resp, &st)
+}
+
+// Status fetches a job's current state without blocking.
+func (c *Client) Status(id string) (JobStatus, error) {
+	var st JobStatus
+	resp, err := c.httpClient().Get(c.url("/v1/jobs/" + id))
+	if err != nil {
+		return st, err
+	}
+	return st, decode(resp, &st)
+}
+
+// Wait blocks until the job leaves the running state, long-polling the
+// status endpoint (and retrying at poll intervals if a long-poll
+// connection drops — e.g. across a server restart, where the caller
+// resubmits and waits again).
+func (c *Client) Wait(id string, timeout time.Duration) (JobStatus, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := c.httpClient().Get(c.url("/v1/jobs/" + id + "?wait=1"))
+		if err == nil {
+			var st JobStatus
+			if derr := decode(resp, &st); derr != nil {
+				return st, derr
+			}
+			if st.State != StateRunning {
+				return st, nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return JobStatus{}, fmt.Errorf("farm: job %s still running after %s", id, timeout)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// Results fetches a completed job's ordered cell results and digest.
+func (c *Client) Results(id string) (JobResults, error) {
+	var out JobResults
+	resp, err := c.httpClient().Get(c.url("/v1/jobs/" + id + "/results"))
+	if err != nil {
+		return out, err
+	}
+	return out, decode(resp, &out)
+}
+
+// Metrics fetches the server's counters.
+func (c *Client) Metrics() (MetricsSnapshot, error) {
+	var out MetricsSnapshot
+	resp, err := c.httpClient().Get(c.url("/v1/metrics"))
+	if err != nil {
+		return out, err
+	}
+	return out, decode(resp, &out)
+}

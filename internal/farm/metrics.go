@@ -1,0 +1,74 @@
+// Farm service metrics: monotonically increasing counters for the
+// /v1/metrics endpoint and the trace stream — jobs accepted and
+// completed, cells executed on a worker versus served from the
+// content-addressed cache, and the pool's shard occupancy.
+
+package farm
+
+import "sync"
+
+// Metrics counts farm activity since the server started.
+type Metrics struct {
+	mu            sync.Mutex
+	jobsAccepted  uint64
+	jobsCompleted uint64
+	cellsExecuted uint64
+	cellsCached   uint64
+}
+
+// MetricsSnapshot is the JSON shape of /v1/metrics.
+type MetricsSnapshot struct {
+	JobsAccepted  uint64 `json:"jobs_accepted"`
+	JobsCompleted uint64 `json:"jobs_completed"`
+	// CellsExecuted counts cells simulated on a worker; CellsCached
+	// counts cells served from the result cache without running the
+	// simulator. Their ratio is the farm's dedup win.
+	CellsExecuted uint64 `json:"cells_executed"`
+	CellsCached   uint64 `json:"cells_cached"`
+	// ShardOccupancy is tasks executed per worker; TasksStolen is how
+	// many ran away from their home shard (work-stealing traffic).
+	ShardOccupancy []uint64 `json:"shard_occupancy"`
+	TasksStolen    uint64   `json:"tasks_stolen"`
+	// CacheEntries is the persistent result-cache size; CacheHits and
+	// CacheMisses are this process's lookup outcomes.
+	CacheEntries int    `json:"cache_entries"`
+	CacheHits    uint64 `json:"cache_hits"`
+	CacheMisses  uint64 `json:"cache_misses"`
+}
+
+func (m *Metrics) jobAccepted() {
+	m.mu.Lock()
+	m.jobsAccepted++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) jobCompleted() {
+	m.mu.Lock()
+	m.jobsCompleted++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) cellExecuted() {
+	m.mu.Lock()
+	m.cellsExecuted++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) cellCached() {
+	m.mu.Lock()
+	m.cellsCached++
+	m.mu.Unlock()
+}
+
+// snapshot captures the counters; pool and cache fields are filled by
+// the server, which owns those objects.
+func (m *Metrics) snapshot() MetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return MetricsSnapshot{
+		JobsAccepted:  m.jobsAccepted,
+		JobsCompleted: m.jobsCompleted,
+		CellsExecuted: m.cellsExecuted,
+		CellsCached:   m.cellsCached,
+	}
+}

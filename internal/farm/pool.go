@@ -1,0 +1,138 @@
+// The sharded work-stealing worker pool. Cells hash to shards by cache
+// key, each shard owns a FIFO queue and a worker, and an idle worker
+// steals the oldest task from the longest queue — cheap load balancing
+// without any nondeterministic select. Determinism is not required of
+// scheduling itself (results are content-addressed and folded by cell
+// order, so completion order is invisible); what matters is that Stop
+// drops queued tasks on the floor exactly like a crash would, leaving
+// recovery entirely to the journal.
+
+package farm
+
+import "sync"
+
+// Pool runs submitted tasks on one goroutine per shard.
+type Pool struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queues  [][]func()
+	stopped bool
+	wg      sync.WaitGroup
+
+	executed []uint64 // tasks run, per worker
+	stolen   uint64   // tasks taken from another shard's queue
+}
+
+// NewPool starts a pool with the given shard count (minimum 1).
+func NewPool(shards int) *Pool {
+	if shards < 1 {
+		shards = 1
+	}
+	p := &Pool{
+		queues:   make([][]func(), shards),
+		executed: make([]uint64, shards),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	for i := 0; i < shards; i++ {
+		p.wg.Add(1)
+		go p.worker(i)
+	}
+	return p
+}
+
+// Shards returns the pool's shard count.
+func (p *Pool) Shards() int { return len(p.queues) }
+
+// Submit appends fn to the shard's queue, reporting false if the pool
+// has stopped (the task is not queued).
+func (p *Pool) Submit(shard int, fn func()) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stopped {
+		return false
+	}
+	shard = shard % len(p.queues)
+	if shard < 0 {
+		shard = -shard
+	}
+	p.queues[shard] = append(p.queues[shard], fn)
+	p.cond.Signal()
+	return true
+}
+
+func (p *Pool) worker(i int) {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		var fn func()
+		for {
+			if p.stopped {
+				p.mu.Unlock()
+				return
+			}
+			if fn = p.take(i); fn != nil {
+				break
+			}
+			p.cond.Wait()
+		}
+		p.executed[i]++
+		p.mu.Unlock()
+		fn()
+	}
+}
+
+// take pops the worker's own queue, falling back to stealing the oldest
+// task from the longest queue. Caller holds p.mu.
+func (p *Pool) take(i int) func() {
+	if q := p.queues[i]; len(q) > 0 {
+		fn := q[0]
+		p.queues[i] = q[1:]
+		return fn
+	}
+	best, bestLen := -1, 0
+	for j := range p.queues {
+		if l := len(p.queues[j]); l > bestLen {
+			best, bestLen = j, l
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	fn := p.queues[best][0]
+	p.queues[best] = p.queues[best][1:]
+	p.stolen++
+	return fn
+}
+
+// Stop discards every queued task (the crash analog: queued work is
+// recovered from the journal, never from memory), waits for in-flight
+// tasks to finish, and returns how many tasks were dropped.
+func (p *Pool) Stop() (dropped int) {
+	p.mu.Lock()
+	p.stopped = true
+	for i := range p.queues {
+		dropped += len(p.queues[i])
+		p.queues[i] = nil
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+	return dropped
+}
+
+// Occupancy returns a snapshot of per-worker executed-task counts.
+func (p *Pool) Occupancy() []uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]uint64, len(p.executed))
+	copy(out, p.executed)
+	return out
+}
+
+// Stolen returns how many tasks were executed away from their home
+// shard.
+func (p *Pool) Stolen() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stolen
+}

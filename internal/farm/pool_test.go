@@ -1,0 +1,101 @@
+package farm
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPoolRunsEverything: every submitted task runs exactly once and
+// the occupancy counters account for all of them.
+func TestPoolRunsEverything(t *testing.T) {
+	p := NewPool(4)
+	const n = 100
+	var ran atomic.Uint64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		if !p.Submit(i, func() { ran.Add(1); wg.Done() }) {
+			t.Fatal("submit refused on a live pool")
+		}
+	}
+	wg.Wait()
+	if got := ran.Load(); got != n {
+		t.Fatalf("ran %d tasks, want %d", got, n)
+	}
+	var occ uint64
+	for _, c := range p.Occupancy() {
+		occ += c
+	}
+	if occ != n {
+		t.Fatalf("occupancy sums to %d, want %d", occ, n)
+	}
+	if dropped := p.Stop(); dropped != 0 {
+		t.Fatalf("dropped %d tasks after completion", dropped)
+	}
+}
+
+// TestPoolStealing: piling every task on one shard must not leave the
+// other workers idle — they steal from the longest queue.
+func TestPoolStealing(t *testing.T) {
+	p := NewPool(4)
+	defer p.Stop()
+	const n = 64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		p.Submit(0, func() {
+			// Long enough that shard 0's worker cannot drain the queue
+			// alone before the others wake.
+			time.Sleep(time.Millisecond)
+			wg.Done()
+		})
+	}
+	wg.Wait()
+	if p.Stolen() == 0 {
+		t.Fatal("no tasks were stolen off the loaded shard")
+	}
+	busy := 0
+	for _, c := range p.Occupancy() {
+		if c > 0 {
+			busy++
+		}
+	}
+	if busy < 2 {
+		t.Fatalf("only %d workers participated; stealing is broken", busy)
+	}
+}
+
+// TestPoolStopDropsQueued: Stop is the crash analog — queued tasks are
+// discarded (the journal recovers them), in-flight tasks finish.
+func TestPoolStopDropsQueued(t *testing.T) {
+	p := NewPool(1)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	finished := make(chan struct{})
+	p.Submit(0, func() {
+		close(started)
+		<-release
+		close(finished)
+	})
+	<-started
+	const queued = 5
+	for i := 0; i < queued; i++ {
+		p.Submit(0, func() { t.Error("queued task ran after Stop") })
+	}
+	stopDone := make(chan int)
+	go func() { stopDone <- p.Stop() }()
+	// Give Stop time to mark the pool stopped and clear the queues; the
+	// worker is parked inside the blocking task, not holding the lock.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	dropped := <-stopDone
+	<-finished
+	if dropped != queued {
+		t.Fatalf("dropped %d queued tasks, want %d", dropped, queued)
+	}
+	if p.Submit(0, func() {}) {
+		t.Fatal("submit accepted after Stop")
+	}
+}

@@ -1,0 +1,486 @@
+// The farm server: HTTP/JSON job intake, in-memory job state, and the
+// durability story. Every accepted job spec is journaled before any
+// cell runs, every finished cell is fsynced into the content-addressed
+// result cache, and a completion marker closes the job out — so a
+// server killed at any instant loses at worst the cells that were still
+// queued. The next start replays the jobs journal: specs without a
+// completion marker are re-enqueued, their already-cached cells hit,
+// and only the genuinely lost cells are re-simulated. Determinism makes
+// this exact: a recovered job's results (and digest) are bit-identical
+// to an uninterrupted run's.
+
+package farm
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"vbmo/internal/farm/cachekey"
+	"vbmo/internal/par"
+	"vbmo/internal/trace"
+)
+
+// Job states reported by the status endpoint.
+const (
+	StateRunning     = "running"
+	StateDone        = "done"
+	StateInterrupted = "interrupted"
+	StateFailed      = "failed"
+)
+
+// JobID derives a job's content-addressed identity: the digest of its
+// spec joined with the code-version fingerprint, truncated for
+// readability (64 bits of collision resistance is ample for a job
+// registry). Equal specs on equal code get equal IDs — resubmission is
+// idempotent by construction.
+func JobID(spec JobSpec) string {
+	type identity struct {
+		Spec JobSpec `json:"spec"`
+		Code string  `json:"code"`
+	}
+	return cachekey.Hash(identity{Spec: spec, Code: cachekey.Version()})[:16]
+}
+
+// CellResult is one cell's terminal record in a job's result list.
+type CellResult struct {
+	Index int    `json:"index"`
+	Kind  string `json:"kind"`
+	Key   string `json:"key"`
+	// Cached reports whether this run served the cell from the result
+	// cache. It is execution metadata, not part of the result digest —
+	// the same job is bit-identical whether its cells hit or ran.
+	Cached bool            `json:"cached"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// JobStatus is the status endpoint's JSON shape.
+type JobStatus struct {
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	Total    int    `json:"total"`
+	Done     int    `json:"done"`
+	Executed int    `json:"executed"`
+	Cached   int    `json:"cached"`
+	Digest   string `json:"digest,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+// JobResults is the results endpoint's JSON shape. Digest is the
+// content hash of the ordered result values alone (no cache metadata),
+// so two runs of the same job can be compared for bit-identity by
+// digest.
+type JobResults struct {
+	ID      string       `json:"id"`
+	Digest  string       `json:"digest"`
+	Results []CellResult `json:"results"`
+}
+
+// job is the in-memory state of one accepted job.
+type job struct {
+	id      string
+	spec    JobSpec
+	cells   []Cell
+	keys    []string
+	results []CellResult
+
+	done, executed, cached int
+	interrupted            bool
+	failure                string
+	digest                 string
+}
+
+func (j *job) state() string {
+	switch {
+	case j.failure != "":
+		return StateFailed
+	case j.done == len(j.cells):
+		return StateDone
+	case j.interrupted:
+		return StateInterrupted
+	default:
+		return StateRunning
+	}
+}
+
+func (j *job) status() JobStatus {
+	return JobStatus{
+		ID: j.id, State: j.state(), Total: len(j.cells),
+		Done: j.done, Executed: j.executed, Cached: j.cached,
+		Digest: j.digest, Error: j.failure,
+	}
+}
+
+// Server is the farm service. Create with NewServer, serve with Start,
+// shut down with Stop.
+type Server struct {
+	dir     string
+	pool    *Pool
+	cache   *Cache
+	jobs    *par.Journal
+	tr      *trace.Tracer
+	metrics *Metrics
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	byID map[string]*job
+
+	ln   net.Listener
+	http *http.Server
+}
+
+// NewServer opens the farm's state directory (results.jsonl: the
+// content-addressed cache; jobs.jsonl: accepted specs and completion
+// markers), starts a pool with the given shard count, and re-enqueues
+// any job the previous process accepted but never completed.
+func NewServer(dir string, shards int, tr *trace.Tracer) (*Server, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	cache, err := OpenCache(filepath.Join(dir, "results.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	jobs, err := par.OpenJournal(filepath.Join(dir, "jobs.jsonl"), cachekey.Version())
+	if err != nil {
+		cache.Close()
+		return nil, err
+	}
+	s := &Server{
+		dir:     dir,
+		pool:    NewPool(shards),
+		cache:   cache,
+		jobs:    jobs,
+		tr:      tr,
+		metrics: &Metrics{},
+		byID:    make(map[string]*job),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	if err := s.recover(); err != nil {
+		s.Stop()
+		return nil, err
+	}
+	return s, nil
+}
+
+// recover replays the jobs journal: every spec record without a
+// matching done marker is an interrupted job; re-enqueue it. Cells the
+// dead process finished are in the result cache and hit immediately;
+// only the lost tail re-executes.
+func (s *Server) recover() error {
+	keys := s.jobs.Keys()
+	done := make(map[string]bool)
+	for _, k := range keys {
+		if id, ok := strings.CutPrefix(k, "done|"); ok {
+			done[id] = true
+		}
+	}
+	for _, k := range keys {
+		id, ok := strings.CutPrefix(k, "spec|")
+		if !ok || done[id] {
+			continue
+		}
+		var spec JobSpec
+		if !s.jobs.Lookup(k, &spec) {
+			return fmt.Errorf("farm: unreadable spec for interrupted job %s", id)
+		}
+		if _, err := s.enqueue(spec, false); err != nil {
+			return fmt.Errorf("farm: re-enqueueing interrupted job %s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// enqueue registers the job and dispatches its cells: cache hits are
+// filled synchronously, misses go to the pool shard their key hashes
+// to. Resubmitting an ID already known to this process returns the
+// existing state unless fresh is set, which re-runs the job through the
+// cache (the cells still hit; fresh forces re-counting, not
+// re-simulation).
+func (s *Server) enqueue(spec JobSpec, fresh bool) (*job, error) {
+	cells, err := spec.Cells()
+	if err != nil {
+		return nil, err
+	}
+	id := JobID(spec)
+	keys := make([]string, len(cells))
+	for i, c := range cells {
+		if keys[i], err = c.Key(); err != nil {
+			return nil, err
+		}
+	}
+
+	s.mu.Lock()
+	if existing, ok := s.byID[id]; ok {
+		if !fresh || existing.state() == StateRunning {
+			s.mu.Unlock()
+			return existing, nil
+		}
+	}
+	j := &job{id: id, spec: spec, cells: cells, keys: keys,
+		results: make([]CellResult, len(cells))}
+	s.byID[id] = j
+	s.mu.Unlock()
+
+	if err := s.jobs.Record("spec|"+id, spec); err != nil {
+		return nil, err
+	}
+	s.metrics.jobAccepted()
+	if s.tr != nil {
+		s.tr.Emit(trace.Event{Kind: trace.KFarmJob, Reason: trace.RFarmJobAccepted,
+			Core: -1, Aux: uint64(len(cells))})
+	}
+
+	for i := range cells {
+		i := i
+		var raw json.RawMessage
+		if s.cache.Get(keys[i], &raw) {
+			s.finishCell(j, i, raw, true, nil)
+			continue
+		}
+		shard := shardOf(keys[i], s.pool.Shards())
+		ok := s.pool.Submit(shard, func() {
+			res, execErr := j.cells[i].Execute()
+			if execErr == nil {
+				// Cache before acknowledging: once a result is visible it
+				// must be durable, or a crash between the two could serve a
+				// cell cheaply now and expensively later.
+				if cerr := s.cache.Put(keys[i], res); cerr != nil {
+					execErr = cerr
+				}
+			}
+			s.finishCell(j, i, res, false, execErr)
+		})
+		if !ok {
+			s.mu.Lock()
+			j.interrupted = true
+			s.cond.Broadcast()
+			s.mu.Unlock()
+		}
+	}
+	return j, nil
+}
+
+// finishCell records one cell's terminal state and closes the job out
+// when it was the last.
+func (s *Server) finishCell(j *job, i int, raw json.RawMessage, cached bool, err error) {
+	if cached {
+		s.metrics.cellCached()
+	} else if err == nil {
+		s.metrics.cellExecuted()
+	}
+	if s.tr != nil {
+		reason := trace.RFarmCellExecuted
+		if cached {
+			reason = trace.RFarmCellCached
+		}
+		s.tr.Emit(trace.Event{Kind: trace.KFarmCell, Reason: reason, Core: -1})
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cr := CellResult{Index: i, Kind: j.cells[i].Kind, Key: j.keys[i], Cached: cached}
+	if err != nil {
+		cr.Error = err.Error()
+		j.failure = fmt.Sprintf("cell %d (%s): %v", i, j.keys[i], err)
+	} else {
+		cr.Result = raw
+		if cached {
+			j.cached++
+		} else {
+			j.executed++
+		}
+	}
+	j.results[i] = cr
+	j.done++
+	if j.done == len(j.cells) {
+		s.completeLocked(j)
+	}
+	s.cond.Broadcast()
+}
+
+// completeLocked finalizes a job whose last cell just landed: compute
+// the result digest, journal the completion marker, count it. Caller
+// holds s.mu.
+func (s *Server) completeLocked(j *job) {
+	if j.failure == "" {
+		values := make([]json.RawMessage, len(j.results))
+		for i := range j.results {
+			values[i] = j.results[i].Result
+		}
+		j.digest = cachekey.Hash(values)
+		// The marker write is fsynced; an error here leaves the job
+		// re-enqueueable, which recovery handles idempotently.
+		if err := s.jobs.Record("done|"+j.id, j.digest); err != nil {
+			j.failure = fmt.Sprintf("recording completion: %v", err)
+			return
+		}
+	}
+	s.metrics.jobCompleted()
+	if s.tr != nil {
+		s.tr.Emit(trace.Event{Kind: trace.KFarmJob, Reason: trace.RFarmJobDone,
+			Core: -1, Value: uint64(j.executed), Aux: uint64(j.cached)})
+	}
+}
+
+// shardOf hashes a cache key onto a shard. FNV-1a is deterministic
+// across processes, so a cell always lands on the same home shard.
+func shardOf(key string, shards int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(shards))
+}
+
+// Snapshot returns the current metrics, including pool occupancy and
+// cache counters.
+func (s *Server) Snapshot() MetricsSnapshot {
+	snap := s.metrics.snapshot()
+	snap.ShardOccupancy = s.pool.Occupancy()
+	snap.TasksStolen = s.pool.Stolen()
+	snap.CacheEntries = s.cache.Len()
+	snap.CacheHits, snap.CacheMisses = s.cache.Stats()
+	return snap
+}
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleResults)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{
+			"status": "ok", "version": cachekey.Version(),
+		})
+	})
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		http.Error(w, "farm: bad job spec: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	j, err := s.enqueue(spec, r.URL.Query().Get("fresh") == "1")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	st := j.status()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	wait := r.URL.Query().Get("wait") == "1"
+	s.mu.Lock()
+	j, ok := s.byID[id]
+	if ok && wait {
+		for j.state() == StateRunning {
+			s.cond.Wait()
+		}
+	}
+	var st JobStatus
+	if ok {
+		st = j.status()
+	}
+	s.mu.Unlock()
+	if !ok {
+		http.Error(w, "farm: unknown job "+id, http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.byID[id]
+	var out JobResults
+	state := ""
+	if ok {
+		state = j.state()
+		if state == StateDone {
+			out = JobResults{ID: j.id, Digest: j.digest,
+				Results: append([]CellResult(nil), j.results...)}
+		}
+	}
+	s.mu.Unlock()
+	switch {
+	case !ok:
+		http.Error(w, "farm: unknown job "+id, http.StatusNotFound)
+	case state != StateDone:
+		http.Error(w, "farm: job "+id+" is "+state, http.StatusConflict)
+	default:
+		writeJSON(w, http.StatusOK, out)
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	// The connection may already be gone; an encode error has nowhere
+	// useful to go.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// Start listens on addr (e.g. ":8373", "127.0.0.1:0") and serves the
+// API until Stop. It returns the bound address, so tests and scripts
+// can pass port 0.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.ln = ln
+	s.http = &http.Server{Handler: s.Handler()}
+	go func() {
+		// Serve returns on Stop's Close; nothing to report then.
+		_ = s.http.Serve(ln)
+	}()
+	return ln.Addr(), nil
+}
+
+// Stop shuts the server down abruptly — the crash analog the journal is
+// built for. Queued cells are dropped (recovery re-runs them), in-flight
+// cells finish into the cache, incomplete jobs are marked interrupted,
+// and the journals are closed. Stop returns how many queued cells were
+// dropped.
+func (s *Server) Stop() int {
+	if s.http != nil {
+		_ = s.http.Close()
+	}
+	dropped := s.pool.Stop()
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.byID))
+	for id := range s.byID {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if j := s.byID[id]; j.state() == StateRunning {
+			j.interrupted = true
+		}
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	_ = s.cache.Close()
+	_ = s.jobs.Close()
+	return dropped
+}

@@ -301,13 +301,16 @@ func TestSweepSmall(t *testing.T) {
 		{Name: "baseline", Machine: tune(config.Baseline()), Sound: true},
 		{Name: "nus-only", Machine: tune(config.Replay(core.NUSOnly)), Sound: false},
 	}
-	vs := Sweep(SweepOptions{
+	vs, err := Sweep(SweepOptions{
 		Tests:   []*Test{sb, mpf},
 		Configs: cfgs,
 		Runs:    15,
 		Workers: 2,
 		Seed:    7,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(vs) != 4 {
 		t.Fatalf("got %d verdicts, want 4", len(vs))
 	}

@@ -33,14 +33,24 @@ func resumeOpts(t *testing.T, checkpoint string) SweepOptions {
 	}
 }
 
+// mustSweep fails the test on a sweep infrastructure error.
+func mustSweep(t *testing.T, o SweepOptions) []Verdict {
+	t.Helper()
+	vs, err := Sweep(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vs
+}
+
 // TestSweepResumeDeterminism: verdicts from a sweep resumed off a
 // partially-written journal must be bit-identical to an uninterrupted
 // sweep, fault counters included.
 func TestSweepResumeDeterminism(t *testing.T) {
-	clean := Sweep(resumeOpts(t, ""))
+	clean := mustSweep(t, resumeOpts(t, ""))
 
 	journal := filepath.Join(t.TempDir(), "litmus.jsonl")
-	full := Sweep(resumeOpts(t, journal))
+	full := mustSweep(t, resumeOpts(t, journal))
 	if !reflect.DeepEqual(clean, full) {
 		t.Fatal("journaled sweep diverges from plain sweep")
 	}
@@ -71,7 +81,7 @@ func TestSweepResumeDeterminism(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	resumed := Sweep(resumeOpts(t, journal))
+	resumed := mustSweep(t, resumeOpts(t, journal))
 	if !reflect.DeepEqual(clean, resumed) {
 		for i := range clean {
 			if !reflect.DeepEqual(clean[i], resumed[i]) {
@@ -87,10 +97,10 @@ func TestSweepResumeDeterminism(t *testing.T) {
 // streams actually derive from the configured seed rather than being
 // shared or ignored.
 func TestSweepFaultSeedIsolation(t *testing.T) {
-	a := Sweep(resumeOpts(t, ""))
+	a := mustSweep(t, resumeOpts(t, ""))
 	o := resumeOpts(t, "")
 	o.Fault.Seed = 999
-	b := Sweep(o)
+	b := mustSweep(t, o)
 	var ia, ib uint64
 	for i := range a {
 		ia += a[i].FaultInjected

@@ -370,13 +370,60 @@ type SweepOptions struct {
 	CellTimeout time.Duration
 }
 
+// CellSeed derives the perturbation base seed of the (ti, ci) sweep
+// cell from the sweep seed. The derivation decorrelates the streams
+// across cells while keeping run i of a cell reproducible in
+// isolation; it is shared with the farm service so a farm-executed
+// cell is bit-identical to the same cell inside a CLI sweep.
+func CellSeed(seed uint64, ti, ci int) uint64 {
+	return seed ^ (uint64(ti)<<40 | uint64(ci)<<32)
+}
+
+// RunCell executes one (test, config) sweep cell: runs perturbed
+// executions seeded from base (see CellSeed), classified against the
+// test's allowed set, folded into the cell's verdict. This is the
+// farm service's unit of execution as well as Sweep's worker body, so
+// the two produce identical verdicts for identical inputs.
+func RunCell(t *Test, cfg Config, as *AllowedSet, runs int, base uint64, fc *fault.Config, cores int) Verdict {
+	v := Verdict{
+		Test: t.Name, Config: cfg.Name, Sound: cfg.Sound,
+		Runs: runs, Histogram: make(map[string]int),
+	}
+	for i := 0; i < runs; i++ {
+		res := RunOneFaultOn(cfg.Machine, t, as, base+uint64(i), nil, fc, cores)
+		if res.OK {
+			v.Histogram[res.Key]++
+			if !res.Allowed {
+				v.Forbidden++
+			}
+			if res.Weak {
+				v.WeakHits++
+			}
+			if res.Cycle {
+				v.Cycles++
+			}
+		} else {
+			v.Incomplete++
+		}
+		v.FaultInjected += res.Faults.Injected
+		v.FaultDetected += res.Faults.Detected
+		v.FaultMissed += res.Faults.Missed
+		v.FaultDropped += res.Faults.Dropped
+		v.FaultDelayed += res.Faults.Delayed
+		v.FaultSuppressed += res.Faults.Suppressed
+	}
+	return v
+}
+
 // Sweep runs the battery across the machine set in a bounded worker
 // pool (par.Run) — one job per (test, config) cell, each cell running
 // Runs perturbed executions — and returns the verdict matrix in
 // battery order (tests outer, configs inner). Cell seeds depend only
 // on the cell's (test, config) indices, so the matrix is identical at
-// any worker count.
-func Sweep(o SweepOptions) []Verdict {
+// any worker count. A bad checkpoint path or a journal belonging to a
+// different sweep is returned as an error (the CLIs map it to the
+// exit-code table) rather than panicking.
+func Sweep(o SweepOptions) ([]Verdict, error) {
 	tests := o.Tests
 	if tests == nil {
 		tests = Battery()
@@ -426,7 +473,7 @@ func Sweep(o SweepOptions) []Verdict {
 			runs, o.Seed, strings.Join(names, ","), faultKey)
 		var err error
 		if journal, err = par.OpenJournal(o.Checkpoint, fp); err != nil {
-			panic(err) // a bad checkpoint path/fingerprint is a setup error
+			return nil, err
 		}
 		defer journal.Close()
 	}
@@ -468,37 +515,7 @@ func Sweep(o SweepOptions) []Verdict {
 	}, len(todo), func(j int) error {
 		cell := todo[j]
 		ti, ci := cell/len(cfgs), cell%len(cfgs)
-		t, cfg := tests[ti], cfgs[ci]
-		v := Verdict{
-			Test: t.Name, Config: cfg.Name, Sound: cfg.Sound,
-			Runs: runs, Histogram: make(map[string]int),
-		}
-		// Decorrelate the perturbation streams across cells while
-		// keeping run i of a cell reproducible in isolation.
-		base := o.Seed ^ (uint64(ti)<<40 | uint64(ci)<<32)
-		for i := 0; i < runs; i++ {
-			res := RunOneFaultOn(cfg.Machine, t, allowed[ti], base+uint64(i), nil, o.Fault, o.Cores)
-			if res.OK {
-				v.Histogram[res.Key]++
-				if !res.Allowed {
-					v.Forbidden++
-				}
-				if res.Weak {
-					v.WeakHits++
-				}
-				if res.Cycle {
-					v.Cycles++
-				}
-			} else {
-				v.Incomplete++
-			}
-			v.FaultInjected += res.Faults.Injected
-			v.FaultDetected += res.Faults.Detected
-			v.FaultMissed += res.Faults.Missed
-			v.FaultDropped += res.Faults.Dropped
-			v.FaultDelayed += res.Faults.Delayed
-			v.FaultSuppressed += res.Faults.Suppressed
-		}
+		v := RunCell(tests[ti], cfgs[ci], allowed[ti], runs, CellSeed(o.Seed, ti, ci), o.Fault, o.Cores)
 		if journal != nil {
 			if err := journal.Record(cellKey(ti, ci), v); err != nil {
 				return err
@@ -518,7 +535,7 @@ func Sweep(o SweepOptions) []Verdict {
 		}
 	}
 	mu.Unlock()
-	return verdicts
+	return verdicts, nil
 }
 
 // Summary condenses a verdict matrix into the battery-level result.

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 )
 
@@ -107,6 +108,19 @@ func (j *Journal) Done() int {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return len(j.done)
+}
+
+// Keys returns every recorded cell key in sorted order. Restart
+// recovery scans these to find work that completed before a crash.
+func (j *Journal) Keys() []string {
+	j.mu.Lock()
+	keys := make([]string, 0, len(j.done))
+	for k := range j.done {
+		keys = append(keys, k)
+	}
+	j.mu.Unlock()
+	sort.Strings(keys)
+	return keys
 }
 
 // Lookup unmarshals the stored result for key into out, reporting

@@ -110,6 +110,94 @@ func TestJournalPartialTailTruncated(t *testing.T) {
 	}
 }
 
+// TestJournalGarbageTailTruncated covers the other crash shape: the
+// final line is newline-terminated but unparsable (a torn write that
+// happened to include the newline, or disk corruption). The journal
+// must drop the garbage line and everything after it, keep the intact
+// prefix bit-identical, and accept fresh appends cleanly.
+func TestJournalGarbageTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	j, err := OpenJournal(path, "fp-v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cellResult{IPC: 2.0 / 7.0, Count: 9}
+	j.Record("cell-a", want)
+	j.Record("cell-b", cellResult{IPC: 1, Count: 1})
+	j.Close()
+
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("not json at all\n")
+	f.WriteString(`{"key":"cell-after-garbage","result":{"ipc":3,"count":3}}` + "\n")
+	f.Close()
+
+	j2, err := OpenJournal(path, "fp-v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everything from the first bad line on is untrusted and cut — the
+	// record after the garbage line goes too.
+	if j2.Done() != 2 {
+		t.Fatalf("done %d, want 2 (garbage tail dropped)", j2.Done())
+	}
+	var got cellResult
+	if !j2.Lookup("cell-a", &got) || got != want {
+		t.Fatalf("intact prefix corrupted: got %+v want %+v", got, want)
+	}
+	// The file must have been rewritten to the valid prefix so appends
+	// after recovery parse cleanly on the next open.
+	if err := j2.Record("cell-c", cellResult{IPC: 4, Count: 4}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	j3, err := OpenJournal(path, "fp-v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if j3.Done() != 3 || !j3.Lookup("cell-a", &got) || got != want {
+		t.Fatalf("resume after recovery not bit-identical: done=%d got=%+v", j3.Done(), got)
+	}
+}
+
+// TestJournalKeys pins the restart-recovery contract: Keys returns
+// every recorded key, sorted, regardless of insertion order.
+func TestJournalKeys(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	j, err := OpenJournal(path, "fp-v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"zeta", "alpha", "mid"} {
+		j.Record(k, cellResult{})
+	}
+	want := []string{"alpha", "mid", "zeta"}
+	got := j.Keys()
+	if len(got) != len(want) {
+		t.Fatalf("keys %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("keys %v, want %v", got, want)
+		}
+	}
+	j.Close()
+	j2, err := OpenJournal(path, "fp-v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	got = j2.Keys()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("keys after reopen %v, want %v", got, want)
+		}
+	}
+}
+
 func TestJournalRecordAfterCloseDropped(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "sweep.jsonl")
 	j, err := OpenJournal(path, "fp-v1")

@@ -96,6 +96,14 @@ const (
 	// stops with a structured report) or RWatchdogStorm (replay-squash
 	// storm; Value is the throttle backoff applied to Core).
 	KWatchdog
+	// KFarmJob is a farm-service job lifecycle event: Reason is
+	// RFarmJobAccepted (Aux the job's cell count) or RFarmJobDone (Value
+	// cells executed, Aux cells served from the result cache).
+	KFarmJob
+	// KFarmCell is one farm sweep cell reaching a terminal state: Reason
+	// is RFarmCellExecuted (simulated on a worker; Core is the shard) or
+	// RFarmCellCached (served from the content-addressed result cache).
+	KFarmCell
 
 	numKinds
 )
@@ -119,6 +127,8 @@ var kindNames = [numKinds]string{
 	KFaultDetect:    "fault-detect",
 	KFaultMiss:      "fault-miss",
 	KWatchdog:       "watchdog",
+	KFarmJob:        "farm-job",
+	KFarmCell:       "farm-cell",
 }
 
 // String returns the kind's stable wire name.
@@ -230,6 +240,16 @@ const (
 	// threshold and fetch was throttled with exponential backoff.
 	RWatchdogStorm
 
+	// RFarmJobAccepted / RFarmJobDone bracket a farm job's lifetime on
+	// KFarmJob events.
+	RFarmJobAccepted
+	RFarmJobDone
+	// RFarmCellExecuted / RFarmCellCached qualify KFarmCell events: the
+	// cell was simulated on a worker, or its result was served from the
+	// content-addressed cache without running the simulator.
+	RFarmCellExecuted
+	RFarmCellCached
+
 	numReasons
 )
 
@@ -266,6 +286,11 @@ var reasonNames = [numReasons]string{
 
 	RWatchdogDeadlock: "wd-deadlock",
 	RWatchdogStorm:    "wd-storm",
+
+	RFarmJobAccepted:  "farm-job-accepted",
+	RFarmJobDone:      "farm-job-done",
+	RFarmCellExecuted: "farm-cell-exec",
+	RFarmCellCached:   "farm-cell-hit",
 }
 
 // String returns the reason's stable wire name ("" for RNone).
