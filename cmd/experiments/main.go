@@ -33,7 +33,7 @@ func main() {
 		retries     = flag.Int("retries", 0, "re-attempts for a failed matrix cell")
 		cellTimeout = flag.Duration("cell-timeout", 0, "per-cell wall-clock deadline for the §5.1 matrix (0 = none; nondeterministic)")
 
-		benchOut   = flag.String("bench-out", "BENCH_2.json", "bench experiment: write the JSON report here (empty = skip)")
+		benchOut   = flag.String("bench-out", "BENCH_3.json", "bench experiment: write the JSON report here (empty = skip)")
 		snapDir    = flag.String("snapshot-dir", "", "directory for snapshots experiment JSONL output (empty = print only)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")

@@ -57,6 +57,7 @@ func main() {
 		traceFreeze = flag.String("trace-freeze", "", "ring format: freeze trigger: squash | replay-squash (empty = keep rolling)")
 		snapEvery   = flag.Int64("snapshot-interval", 0, "sample metrics snapshots every N cycles (0 = off)")
 		noFF        = flag.Bool("no-fastforward", false, "disable quiescence cycle-skipping (results are bit-identical either way; for A/B timing)")
+		noSkip      = flag.Bool("no-stageskip", false, "disable per-stage readiness skipping (results are bit-identical either way; for A/B timing)")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -141,7 +142,7 @@ func main() {
 		runSeedSweep(cfg, work, sweepOptions{
 			cores: *cores, insts: *insts, baseSeed: *seed, seeds: *seeds,
 			parallel: *parallel, workers: *workers,
-			verifySC: *verifySC, jsonOut: *jsonOut, noFF: *noFF,
+			verifySC: *verifySC, jsonOut: *jsonOut, noFF: *noFF, noSkip: *noSkip,
 			fault: fc, wdCycles: *wdCycles,
 			cellTimeout: *cellTimeout, retries: *retries, journal: *resume,
 		})
@@ -212,7 +213,7 @@ func main() {
 
 	opt := system.Options{Cores: *cores, Seed: *seed, DMAInterval: 4000, DMABurst: 2,
 		TrackConsistency: *verifySC, Trace: tracer, SnapshotInterval: *snapEvery,
-		Fault: fc, WatchdogCycles: *wdCycles, NoFastForward: *noFF}
+		Fault: fc, WatchdogCycles: *wdCycles, NoFastForward: *noFF, NoStageSkip: *noSkip}
 	s := system.New(cfg, work, opt)
 	start := time.Now()
 	res := s.Run(*insts, opt)
@@ -236,6 +237,15 @@ func main() {
 		if ffs := s.FastForwardStats(); ffs.Windows > 0 {
 			fmt.Printf("fast-forward: windows=%d skipped-cycles=%d (%.1f%% of cycles)\n",
 				ffs.Windows, ffs.SkippedCycles, 100*float64(ffs.SkippedCycles)/float64(max64(1, uint64(res.Cycles))))
+		}
+		if sks := s.StageSkipStats(); sks.Total() > 0 {
+			// Rate denominators are core-cycles actually stepped (fast-
+			// forwarded windows never reach the stage scans).
+			cc := max64(1, uint64(res.Cycles)*uint64(*cores))
+			fmt.Printf("stage-skip: wb=%.1f%% capture=%.1f%% commit=%.1f%% replay=%.1f%% issue=%.1f%% of core-cycles\n",
+				100*float64(sks.Writeback)/float64(cc), 100*float64(sks.Capture)/float64(cc),
+				100*float64(sks.Commit)/float64(cc), 100*float64(sks.Replay)/float64(cc),
+				100*float64(sks.Issue)/float64(cc))
 		}
 		if s.Metrics != nil {
 			fmt.Printf("snapshots: %d recorded  occupancy means: ROB=%.1f LQ=%.1f SQ=%.1f (core 0)\n",
@@ -447,6 +457,7 @@ type sweepOptions struct {
 	verifySC bool
 	jsonOut  bool
 	noFF     bool
+	noSkip   bool
 
 	fault       *fault.Config
 	wdCycles    int64
@@ -510,6 +521,7 @@ func runSeedSweep(cfg config.Machine, work workload.Params, o sweepOptions) {
 			TrackConsistency: o.verifySC,
 			WatchdogCycles:   o.wdCycles,
 			NoFastForward:    o.noFF,
+			NoStageSkip:      o.noSkip,
 		}
 		if o.fault.Enabled() {
 			// Each cell draws its own fault stream, derived from its seed

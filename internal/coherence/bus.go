@@ -13,7 +13,11 @@
 // snooping load queues and of the no-recent-snoop filter).
 package coherence
 
-import "vbmo/internal/trace"
+import (
+	"math/bits"
+
+	"vbmo/internal/trace"
+)
 
 // Interconnect latency adders (paper §4).
 const (
@@ -56,7 +60,15 @@ type Bus struct {
 	peers []Peer
 	onInv []func(block uint64)
 	dir   map[uint64]entry
-	dma   map[uint64]bool // blocks last written by the DMA agent
+	// active marks cores that have issued any fetch or upgrade since
+	// they were (re)attached. A directory sharer/owner bit can only be
+	// set by that core's own traffic, so masking probe walks with
+	// active is exact: a quiet core — attached but yet to touch memory
+	// — provably holds no copy and is skipped without a directory
+	// lookup. Re-attaching a core clears its bit until it re-arms with
+	// new traffic.
+	active uint32
+	dma    map[uint64]bool // blocks last written by the DMA agent
 	// lastWriter remembers the last agent that gained write ownership
 	// of a block (DMA uses dmaWriter). A fill is "externally sourced"
 	// whenever the block was last written by a different agent — even
@@ -91,8 +103,23 @@ func NewBus(n, memLatency int) *Bus {
 	}
 }
 
-// AttachPeer registers core's cache hierarchy.
-func (b *Bus) AttachPeer(core int, p Peer) { b.peers[core] = p }
+// AttachPeer registers core's cache hierarchy. The core starts quiet:
+// it is masked out of probe walks until its first fetch or upgrade.
+func (b *Bus) AttachPeer(core int, p Peer) {
+	b.peers[core] = p
+	b.active &^= 1 << uint(core)
+}
+
+// probeMask returns the cores to probe for a directory entry: every
+// sharer plus the owner, restricted to cores that have issued traffic.
+// The restriction is exact, not heuristic — see the active field.
+func (b *Bus) probeMask(e entry) uint32 {
+	m := e.sharers
+	if e.owner != ownerNone {
+		m |= 1 << uint(e.owner)
+	}
+	return m & b.active
+}
 
 // OnInvalidation registers the callback invoked when core observes an
 // external invalidation that hits its hierarchy (snooping load queues
@@ -105,6 +132,7 @@ func (b *Bus) Cores() int { return len(b.peers) }
 // FetchRead implements cache.Backend: core obtains a readable copy.
 func (b *Bus) FetchRead(core int, block uint64) (int, bool) {
 	b.Stats.Reads++
+	b.active |= 1 << uint(core)
 	e, existed := b.dir[block]
 	if !existed {
 		e = entry{owner: ownerNone}
@@ -146,20 +174,16 @@ func (b *Bus) FetchRead(core int, block uint64) (int, bool) {
 // the block receives an invalidation-observed signal.
 func (b *Bus) FetchExclusive(core int, block uint64) (int, bool) {
 	b.Stats.Exclusives++
+	b.active |= 1 << uint(core)
 	e, existed := b.dir[block]
 	if !existed {
 		e = entry{owner: ownerNone}
 	}
 	external := false
-	hadRemoteCopy := false
-	for c := range b.peers {
-		if c == core {
-			continue
-		}
-		if e.sharers&(1<<uint(c)) == 0 && e.owner != c {
-			continue
-		}
-		hadRemoteCopy = true
+	mask := b.probeMask(e) &^ (1 << uint(core))
+	hadRemoteCopy := mask != 0
+	for m := mask; m != 0; m &= m - 1 {
+		c := bits.TrailingZeros32(m)
 		if c == e.owner {
 			external = true
 		}
@@ -223,10 +247,8 @@ func (b *Bus) Probe(block uint64) {
 	if !ok {
 		return
 	}
-	for c := range b.peers {
-		if e.sharers&(1<<uint(c)) != 0 || e.owner == c {
-			b.probeInvalidate(c, block)
-		}
+	for m := b.probeMask(e); m != 0; m &= m - 1 {
+		b.probeInvalidate(bits.TrailingZeros32(m), block)
 	}
 	b.dir[block] = entry{owner: ownerNone}
 }
@@ -251,10 +273,8 @@ func (b *Bus) DMAWrite(block uint64) {
 	}
 	e, ok := b.dir[block]
 	if ok {
-		for c := range b.peers {
-			if e.sharers&(1<<uint(c)) != 0 || e.owner == c {
-				b.probeInvalidate(c, block)
-			}
+		for m := b.probeMask(e); m != 0; m &= m - 1 {
+			b.probeInvalidate(bits.TrailingZeros32(m), block)
 		}
 	}
 	b.dir[block] = entry{owner: ownerNone}

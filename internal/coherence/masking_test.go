@@ -1,0 +1,141 @@
+package coherence
+
+// Tests for the bus's active-core probe masking: a core is masked out
+// of probe walks until its first fetch/upgrade, re-attaching resets it
+// to quiet, and — the regression guard for the in-flight rebinding bug
+// class — a quiet core that re-arms with new traffic must receive
+// every subsequent invalidation exactly as if it had never been
+// masked.
+
+import (
+	"testing"
+
+	"vbmo/internal/cache"
+)
+
+// maskSystem builds an n-core bus with hierarchies and per-core
+// invalidation-observation counters keyed by block.
+func maskSystem(t *testing.T, n int) (*Bus, []*cache.Hierarchy, []map[uint64]int) {
+	t.Helper()
+	bus := NewBus(n, 400)
+	hiers := make([]*cache.Hierarchy, n)
+	seen := make([]map[uint64]int, n)
+	for c := 0; c < n; c++ {
+		cfg := cache.DefaultHierConfig()
+		cfg.PrefetchEntries = 0
+		hiers[c] = cache.NewHierarchy(c, cfg, bus)
+		bus.AttachPeer(c, hiers[c])
+		seen[c] = map[uint64]int{}
+		c := c
+		bus.OnInvalidation(c, func(block uint64) { seen[c][block]++ })
+	}
+	return bus, hiers, seen
+}
+
+func TestActiveCoreMasking(t *testing.T) {
+	const block = 0x4000
+	cases := []struct {
+		name string
+		// arm runs the traffic that should (or should not) arm core 2.
+		arm func(bus *Bus, h []*cache.Hierarchy)
+		// wantInv is whether core 2 must observe the invalidation that
+		// a Probe of block delivers afterwards.
+		wantInv bool
+	}{
+		{
+			name:    "quiet core is masked out",
+			arm:     func(bus *Bus, h []*cache.Hierarchy) {},
+			wantInv: false,
+		},
+		{
+			name: "read re-arms the core",
+			arm: func(bus *Bus, h []*cache.Hierarchy) {
+				h[2].Read(0x40, block, 0)
+			},
+			wantInv: true,
+		},
+		{
+			name: "write re-arms the core",
+			arm: func(bus *Bus, h []*cache.Hierarchy) {
+				h[2].Write(block, 0)
+			},
+			wantInv: true,
+		},
+		{
+			name: "re-attach quiets the core again",
+			arm: func(bus *Bus, h []*cache.Hierarchy) {
+				h[2].Read(0x40, block, 0)
+				// Re-attach: the hierarchy is rebuilt (and with it any
+				// cached copies dropped), so the core is quiet until it
+				// issues traffic again.
+				cfg := cache.DefaultHierConfig()
+				cfg.PrefetchEntries = 0
+				h[2] = cache.NewHierarchy(2, cfg, bus)
+				bus.AttachPeer(2, h[2])
+			},
+			wantInv: false,
+		},
+		{
+			name: "re-attached core receives again after new traffic",
+			arm: func(bus *Bus, h []*cache.Hierarchy) {
+				h[2].Read(0x40, block, 0)
+				cfg := cache.DefaultHierConfig()
+				cfg.PrefetchEntries = 0
+				h[2] = cache.NewHierarchy(2, cfg, bus)
+				bus.AttachPeer(2, h[2])
+				h[2].Read(0x40, block, 0)
+			},
+			wantInv: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bus, h, seen := maskSystem(t, 4)
+			// Core 0 always holds the block so the directory entry and
+			// Probe walk exist regardless of core 2's state.
+			h[0].Read(0x40, block, 0)
+			tc.arm(bus, h)
+			bus.Probe(block)
+			if got := seen[2][block] > 0; got != tc.wantInv {
+				t.Fatalf("core 2 observed invalidation = %v, want %v (counts %v)",
+					got, tc.wantInv, seen[2])
+			}
+			if seen[0][block] == 0 {
+				t.Fatal("core 0 held the block but observed no invalidation")
+			}
+			if seen[3][block] != 0 {
+				t.Fatal("core 3 never touched the block but observed an invalidation")
+			}
+		})
+	}
+}
+
+// TestMaskedInvalidationAfterRearm drives the full sequence the ISSUE
+// names: quiet core, remote writes it misses, re-arm, then a remote
+// write it must observe — with exclusive-fetch invalidations rather
+// than synthetic probes.
+func TestMaskedInvalidationAfterRearm(t *testing.T) {
+	const block = 0x8000
+	bus, h, seen := maskSystem(t, 4)
+	// Core 1 writes while core 2 is quiet: no delivery to core 2.
+	h[1].Write(block, 0)
+	if seen[2][block] != 0 {
+		t.Fatal("quiet core observed an invalidation")
+	}
+	// Core 2 re-arms by reading the block (becomes a sharer).
+	if r := h[2].Read(0x40, block, 10); !r.External {
+		t.Fatal("fill after a remote write must be external")
+	}
+	// Core 1 upgrades again: core 2 is a sharer and must observe it.
+	h[1].Write(block, 20)
+	if seen[2][block] != 1 {
+		t.Fatalf("re-armed sharer observed %d invalidations, want 1", seen[2][block])
+	}
+	// And the copy is really gone: the next read is another miss.
+	if r := h[2].Read(0x40, block, 30); !r.External {
+		t.Fatal("read after observed invalidation must refill externally")
+	}
+	if bus.Stats.Invalidations == 0 {
+		t.Fatal("no invalidations counted on the bus")
+	}
+}

@@ -214,6 +214,60 @@ func TestFastForwardVerdictParity(t *testing.T) {
 	}
 }
 
+// TestStageSkipVerdictParity runs every battery member with the
+// per-stage readiness layer on and off — at the test's natural core
+// count and inside a 16-way SMP, under a perturbed seed so skew, warm
+// cores, and DMA noise are in play — and asserts the observed outcome,
+// cycle count, and committed totals are bit-identical. This is the
+// litmus-level leg of the DESIGN.md §14 equivalence contract; the
+// sweep's Perturb.NoStageSkip fold re-proves it continuously in bulk.
+func TestStageSkipVerdictParity(t *testing.T) {
+	for _, test := range Battery() {
+		for _, cores := range []int{len(test.Threads), 16} {
+			for _, seed := range []uint64{0, 7} {
+				r := &rng{s: seed * 0x2545f4914f6cdd1d}
+				var p Perturb
+				if seed == 0 {
+					p = Perturb{Skew: make([]int, len(test.Threads)), Warm: make([]bool, len(test.Threads))}
+				} else {
+					p = perturbFor(r, len(test.Threads))
+				}
+				comp := CompileOn(test, p.Skew, cores)
+				run := func(noSkip bool) (Outcome, bool, int64, uint64) {
+					opt := system.Options{
+						Cores: len(comp.Inits), Seed: seed,
+						TrackConsistency: true, MaxCycles: maxCycles,
+						DMAInterval: p.DMAInterval, DMABurst: 2,
+						NoStageSkip: noSkip,
+					}
+					s := system.NewCustom(Configs()[0].Machine, comp.Prog, comp.Inits, opt)
+					comp.InitImage(s)
+					for c := range comp.Inits {
+						if c < len(p.Warm) && p.Warm[c] {
+							for _, addr := range comp.Addrs {
+								s.Prewarm(c, addr)
+							}
+						}
+					}
+					res := s.Run(comp.MinCommits, opt)
+					out, ok := comp.Extract(s)
+					return out, ok, res.Cycles, res.Pipe.Committed
+				}
+				outOn, okOn, cycOn, comOn := run(false)
+				outOff, okOff, cycOff, comOff := run(true)
+				if okOn != okOff || cycOn != cycOff || comOn != comOff {
+					t.Fatalf("%s/%d cores/seed %d: run shape diverged: ok %v/%v cycles %d/%d committed %d/%d",
+						test.Name, cores, seed, okOn, okOff, cycOn, cycOff, comOn, comOff)
+				}
+				if outOn.Key() != outOff.Key() {
+					t.Fatalf("%s/%d cores/seed %d: outcome diverged: %s vs %s",
+						test.Name, cores, seed, outOn.Key(), outOff.Key())
+				}
+			}
+		}
+	}
+}
+
 // TestSoundConfigsSB runs SB — the sharpest discriminator — end to end
 // on each sound machine across perturbed seeds: only SC-allowed
 // outcomes, no constraint-graph cycles, every run complete.

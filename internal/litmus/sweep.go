@@ -1,6 +1,7 @@
 // The sweep runner: execute every battery test across machine
-// configurations × seeds × timing perturbations in a bounded worker
-// pool, collecting outcome histograms and soundness verdicts. The five
+// configurations × seeds × timing perturbations (including a
+// stage-skip on/off fold) in a bounded worker pool, collecting outcome
+// histograms and soundness verdicts. The five
 // sound configurations (baseline snooping LQ, replay-all, no-reorder,
 // NRM+NUS, NRS+NUS) must observe only SC-allowed outcomes; the
 // deliberately mis-composed NUS-alone filter (paper §3.3 — it assumes
@@ -95,6 +96,13 @@ type Perturb struct {
 	Warm        []bool
 	ProbeEvery  int64
 	DMAInterval int64
+	// NoStageSkip folds the per-stage readiness layer (DESIGN.md §14)
+	// into the sweep: roughly half the perturbed runs execute with the
+	// layer disabled. Because the layer is bit-identical by contract,
+	// this fold can never change a verdict — it exists so the sweep
+	// itself continuously re-proves that contract on every battery
+	// member under every perturbation shape.
+	NoStageSkip bool
 }
 
 // rng is a splitmix64 stream, the same generator the workloads use;
@@ -126,6 +134,9 @@ func perturbFor(r *rng, threads int) Perturb {
 	if r.next()&3 == 0 {
 		p.DMAInterval = int64(200 + r.intn(400))
 	}
+	// Drawn last so the fold's addition left every earlier field's
+	// derivation (and thus the historical sweep outcomes) unchanged.
+	p.NoStageSkip = r.next()&1 == 0
 	return p
 }
 
@@ -191,6 +202,7 @@ func RunOneFaultOn(mc config.Machine, t *Test, as *AllowedSet, seed uint64, tr *
 		MaxCycles:        maxCycles,
 		DMAInterval:      p.DMAInterval,
 		DMABurst:         2,
+		NoStageSkip:      p.NoStageSkip,
 		Trace:            tr,
 	}
 	if fc.Enabled() {

@@ -63,6 +63,26 @@ type Core struct {
 	// recorded, consumed by FastForward (see quiesce.go).
 	ffStall stallKind
 
+	// Stage-skip readiness layer (stageskip.go, DESIGN.md §14): cheap
+	// per-stage predicates, maintained at enqueue/dequeue time, that let
+	// Step elide a stage's scan when it provably has no work this cycle.
+	// A skipped scan is exactly a scan that would have mutated nothing
+	// and counted nothing, so skipping is bit-identical to full
+	// stepping; skipOff is the -stageskip=off escape hatch.
+	skipOff     bool
+	wbMinDue    int64 // lower bound on the earliest pending completion cycle
+	psdQuiet    bool  // no store-data capture can progress until an event
+	commitQuiet bool  // the ROB head cannot commit until an event
+	issueQuiet  bool  // no issue-queue entry can act until an event
+	issueProbe  bool  // scratch: a load reached the probe path this scan
+	replayBase  int   // settled ROB prefix the replay scan starts past
+	loads       loadTracker
+
+	// Skip counts the stage scans elided by the readiness layer; it
+	// lives outside Stats so a skipping run's Result stays bit-identical
+	// to a non-skipping one (same contract as the system's FFStats).
+	Skip SkipStats
+
 	// CommitHook, if set, observes every committed instruction (the
 	// machine-equivalence oracle and the constraint-graph checker).
 	CommitHook func(prog.Committed)
@@ -130,6 +150,8 @@ func New(id int, cfg config.Machine, p *prog.Program, mem *prog.Image, hier *cac
 	}
 	c.pend.init(cfg.ROBSize)
 	c.pool.init(cfg.ROBSize)
+	c.loads.init(cfg.ROBSize)
+	c.wbMinDue = noDue
 	c.arch.PC = entryPC
 	if cfg.Scheme == config.ValueReplay {
 		c.eng = core.NewEngine(cfg.Filter, cfg.LQSize)
@@ -224,19 +246,49 @@ func (c *Core) LQLen() int {
 // SQLen returns the store queue's current occupancy.
 func (c *Core) SQLen() int { return c.sq.Len() }
 
-// Step advances the core by one cycle.
+// Step advances the core by one cycle. With the stage-skip readiness
+// layer on (the default), each back-end stage scan runs only when its
+// predicate says it might act; the skipped scans are exactly the ones
+// that would have been no-ops, so both paths are bit-identical
+// (DESIGN.md §14).
 //
 //vbr:hotpath
 func (c *Core) Step() {
 	c.portsUsed = 0
 	c.storeCommitted = false
-	c.writeback()
-	c.captureStoreData()
-	c.commit()
-	if c.cfg.Scheme == config.ValueReplay {
-		c.replayStage()
+	if c.skipOff {
+		c.writeback()
+		c.captureStoreData()
+		c.commit()
+		if c.cfg.Scheme == config.ValueReplay {
+			c.replayStage()
+		}
+		c.issue()
+	} else {
+		if c.cycle >= c.wbMinDue {
+			c.writeback()
+		} else {
+			c.Skip.Writeback++
+		}
+		if len(c.psd) > 0 && !c.psdQuiet {
+			c.captureStoreData()
+		} else {
+			c.Skip.Capture++
+		}
+		if !c.commitQuiet {
+			c.commit()
+		} else {
+			c.Skip.Commit++
+		}
+		if c.cfg.Scheme == config.ValueReplay {
+			c.replayStage()
+		}
+		if !c.issueQuiet {
+			c.issue()
+		} else {
+			c.Skip.Issue++
+		}
 	}
-	c.issue()
 	c.dispatch()
 	c.fetch()
 	c.Stats.ROBOccupancySum += uint64(c.rob.Len())
@@ -251,10 +303,15 @@ func (c *Core) writeback() {
 	// Compact the pending list while processing completions. A squash
 	// inside the loop truncates c.pend via squashFrom; the tag check
 	// keeps iteration safe because we re-filter against the surviving
-	// prefix below.
+	// prefix below. The scan recomputes the earliest surviving
+	// completion cycle for free, so Step can sleep the stage until it.
+	min := noDue
 	i := 0
 	for i < c.pend.len() {
-		if c.pend.due[i] > c.cycle {
+		if d := c.pend.due[i]; d > c.cycle {
+			if d < min {
+				min = d
+			}
 			i++
 			continue
 		}
@@ -267,8 +324,10 @@ func (c *Core) writeback() {
 		if c.complete(e) {
 			// A squash occurred; c.pend was rebuilt. Restart.
 			i = 0
+			min = noDue
 		}
 	}
+	c.wbMinDue = min
 }
 
 // complete finishes one instruction; it reports whether a squash
@@ -276,6 +335,11 @@ func (c *Core) writeback() {
 func (c *Core) complete(e *entry) bool {
 	e.done = true
 	e.resultReady = true
+	// A completion is the wake event for every sleeping back-end stage:
+	// it can ready a consumer's operand, a store's data, or the head.
+	c.commitQuiet = false
+	c.issueQuiet = false
+	c.psdQuiet = false
 	switch {
 	case e.isBranch:
 		return c.resolveBranch(e)
@@ -303,6 +367,7 @@ func (c *Core) complete(e *entry) bool {
 		}
 	case e.isLoad:
 		e.loadDone = true
+		c.loads.remove(e.tag)
 	}
 	return false
 }
@@ -356,6 +421,7 @@ func (c *Core) captureStoreData() {
 			c.sq.SetData(e.tag, v)
 			if e.agenDone {
 				e.done = true
+				c.commitQuiet = false // the store may be the ROB head
 			}
 			c.psd[i] = c.psd[len(c.psd)-1]
 			c.psd = c.psd[:len(c.psd)-1]
@@ -363,6 +429,9 @@ func (c *Core) captureStoreData() {
 		}
 		i++
 	}
+	// Every survivor is blocked on a producer that has not completed;
+	// only a completion, a store dispatch, or a squash can change that.
+	c.psdQuiet = true
 }
 
 // ---------------------------------------------------------------------
@@ -372,6 +441,11 @@ func (c *Core) commit() {
 	for n := 0; n < c.cfg.Width && c.rob.Len() > 0; n++ {
 		e := c.rob.At(0)
 		if !e.done {
+			// Head blocked on completion: only a completion, a data
+			// capture, a replay verdict, or a squash can unblock it, and
+			// each of those clears the flag. (The port-limited returns
+			// below must NOT sleep: they commit next cycle unaided.)
+			c.commitQuiet = true
 			return
 		}
 		if e.isStore {
@@ -404,7 +478,10 @@ func (c *Core) commit() {
 		if e.isLoad {
 			if c.eng != nil {
 				if !e.replayedOK {
-					return // must pass replay & compare first
+					// Must pass replay & compare first; every replayedOK
+					// assignment (and squash) clears the flag.
+					c.commitQuiet = true
+					return
 				}
 				if c.vp != nil && !e.replayIssued {
 					// Filtered loads train the value predictor at
@@ -434,8 +511,12 @@ func (c *Core) commit() {
 				c.renameMap[e.inst.Dst] = nil
 			}
 			// Unlink unissued consumers before the entry is recycled:
-			// they latch the value now instead of holding a pointer.
-			c.unlink(e)
+			// they latch the value now instead of holding a pointer. The
+			// reference count makes the common no-consumer case O(1)
+			// instead of an IQ+PSD scan.
+			if e.consumers != 0 {
+				c.unlink(e)
+			}
 		}
 		if c.dispatchBarrier == e.tag {
 			c.dispatchBarrier = -1
@@ -469,7 +550,13 @@ func (c *Core) commit() {
 		}
 		c.Stats.Committed++
 		c.rob.PopFront()
+		if c.replayBase > 0 {
+			c.replayBase-- // ROB indices shifted down by one
+		}
 		c.pool.put(e)
+	}
+	if c.rob.Len() == 0 {
+		c.commitQuiet = true // dispatch into an empty ROB clears this
 	}
 }
 
@@ -483,12 +570,28 @@ func (c *Core) replayStage() {
 	if depth > c.rob.Len() {
 		depth = c.rob.Len()
 	}
+	// The settled-prefix cursor: entries below replayBase are known to
+	// be non-stores the scan would only continue over (non-loads, or
+	// loads already replayedOK — a state that never reverts while the
+	// entry is resident), so the scan resumes there instead of
+	// rescanning the window head every cycle. Commit shifts it down,
+	// squash clamps it.
+	start := 0
+	if !c.skipOff {
+		start = c.replayBase
+		if start >= depth {
+			if start > 0 {
+				c.Skip.Replay++ // the whole window is settled
+			}
+			return
+		}
+	}
 	// Replay and compare are pipelined: one replay may *issue* per
 	// cycle even while older replays' compares are pending, but
 	// compares complete strictly in program order (olderPending) and a
 	// replay miss delays every younger completion (lastReplayCycle).
 	olderPending := false
-	for i := 0; i < depth; i++ {
+	for i := start; i < depth; i++ {
 		e := c.rob.At(i)
 		if e.isStore {
 			// Constraint 1: all prior stores must have written the
@@ -496,6 +599,9 @@ func (c *Core) replayStage() {
 			return
 		}
 		if !e.isLoad || e.replayedOK {
+			if !c.skipOff && i == c.replayBase {
+				c.replayBase++ // extend the settled prefix
+			}
 			continue
 		}
 		if !e.loadDone {
@@ -506,6 +612,10 @@ func (c *Core) replayStage() {
 		fe := c.eng.Queue.Find(e.tag)
 		if fe == nil {
 			e.replayedOK = true
+			c.commitQuiet = false
+			if !c.skipOff && i == c.replayBase {
+				c.replayBase++
+			}
 			continue
 		}
 		if !e.replayDecided {
@@ -522,7 +632,11 @@ func (c *Core) replayStage() {
 			}
 			if !e.needReplay {
 				e.replayedOK = true
+				c.commitQuiet = false
 				c.eng.OnLoadPassedReplayStage(e.tag)
+				if !c.skipOff && i == c.replayBase {
+					c.replayBase++
+				}
 				continue
 			}
 		}
@@ -628,6 +742,7 @@ func (c *Core) replayStage() {
 			c.flt.OnReplayVerdict(c.ID, e.tag, false, c.cycle)
 		}
 		e.replayedOK = true
+		c.commitQuiet = false
 	}
 }
 
@@ -653,10 +768,13 @@ func (c *Core) issue() {
 	// entries issued earlier this cycle then linger (inIQ=false) until
 	// this loop drops them next cycle — before dispatch looks at the
 	// queue again, so occupancy checks never see them.
+	c.issueProbe = false
+	acted := false
 	out := 0
 	for i := 0; i < len(c.iq); i++ {
 		e := c.iq[i]
 		if !e.inIQ {
+			acted = true
 			continue
 		}
 		if b.total > 0 {
@@ -665,6 +783,7 @@ func (c *Core) issue() {
 				return
 			}
 			if issued {
+				acted = true
 				b.total--
 				continue
 			}
@@ -674,6 +793,17 @@ func (c *Core) issue() {
 	}
 	clearTail(c.iq[out:])
 	c.iq = c.iq[:out]
+	// Sleep the stage when this scan provably did nothing and would do
+	// nothing next cycle: nothing issued, no stray dropped, and no load
+	// reached the probe path (predictor and store-queue probes count
+	// their lookups, so a cycle that probes is never skippable — the
+	// same conservatism as issueWould in quiesce.go). Because nothing
+	// issued, every per-class budget was still full, so each survivor
+	// failed purely on operand readiness — which only a completion, a
+	// dispatch, or a squash can change; those clear the flag.
+	if !acted && !c.issueProbe {
+		c.issueQuiet = true
+	}
 }
 
 // clearTail nils dropped slots so recycled entries are not pinned by
@@ -682,6 +812,17 @@ func clearTail(s []*entry) {
 	for i := range s {
 		s[i] = nil
 	}
+}
+
+// pendPush enters an issued instruction into the pending-completion
+// list, lowering the writeback stage's next-wake watermark to cover it.
+//
+//vbr:hotpath
+func (c *Core) pendPush(e *entry) {
+	if e.doneCycle < c.wbMinDue {
+		c.wbMinDue = e.doneCycle
+	}
+	c.pend.push(e)
 }
 
 // tryIssue attempts to issue one instruction; it reports (issued,
@@ -723,7 +864,7 @@ func (c *Core) issueALU(e *entry, units *int, lat int) bool {
 	e.inIQ = false
 	e.result = e.inst.Eval(s1, s2)
 	e.doneCycle = c.cycle + int64(lat)
-	c.pend.push(e)
+	c.pendPush(e)
 	return true
 }
 
@@ -741,7 +882,7 @@ func (c *Core) issueBranch(e *entry, units *int) bool {
 	e.issued = true
 	e.inIQ = false
 	e.doneCycle = c.cycle + int64(c.cfg.IntLat)
-	c.pend.push(e)
+	c.pendPush(e)
 	return true
 }
 
@@ -766,7 +907,7 @@ func (c *Core) issueStoreAgen(e *entry, units *int) bool {
 	e.issued = true
 	e.inIQ = false
 	e.doneCycle = c.cycle + int64(c.cfg.IntLat)
-	c.pend.push(e)
+	c.pendPush(e)
 	return true
 }
 
@@ -778,6 +919,7 @@ func (c *Core) issueLoad(e *entry, b *fuBudget) (bool, bool) {
 	if !ok {
 		return false, false
 	}
+	c.issueProbe = true // address ready: probes below count lookups
 	addr := e.inst.EffAddr(s1)
 	// Dependence predictor constraints.
 	if e.waitStoreTag >= 0 {
@@ -848,7 +990,7 @@ func (c *Core) issueLoad(e *entry, b *fuBudget) (bool, bool) {
 	}
 	e.result = e.value
 	e.doneCycle = c.cycle + int64(lat)
-	c.pend.push(e)
+	c.pendPush(e)
 	if c.trace != nil {
 		var flags uint64
 		if r.Match {
@@ -905,10 +1047,12 @@ func (c *Core) unlink(p *entry) {
 		if e.src1 == p {
 			e.src1 = nil
 			e.src1Val = p.result
+			p.consumers--
 		}
 		if e.src2 == p {
 			e.src2 = nil
 			e.src2Val = p.result
+			p.consumers--
 		}
 	}
 	for _, e := range c.iq {
@@ -921,25 +1065,17 @@ func (c *Core) unlink(p *entry) {
 
 // priorMemIncomplete reports whether any older memory operation is
 // still incomplete (prior load not done, or prior store address
-// unresolved) — the no-reorder filter's issue-time condition.
+// unresolved) — the no-reorder filter's issue-time condition. A store
+// is incomplete until it commits (writes the cache), and the store
+// queue holds exactly the dispatched-uncommitted stores, so its oldest
+// tag answers the store half in O(1); the loadTracker's sorted
+// incomplete-load tags answer the load half with one comparison. Both
+// are exact replacements for the former O(ROB) entry walk, not
+// approximations.
+//
+//vbr:hotpath
 func (c *Core) priorMemIncomplete(e *entry) bool {
-	for i, n := 0, c.rob.Len(); i < n; i++ {
-		o := c.rob.At(i)
-		if o.tag >= e.tag {
-			return false
-		}
-		if o.isLoad && !o.loadDone {
-			return true
-		}
-		if o.isStore {
-			// A store is incomplete until it commits (writes the
-			// cache); an older store still in the ROB means this load
-			// samples memory before that store's global visibility
-			// point, i.e. out of order.
-			return true
-		}
-	}
-	return false
+	return c.sq.HasOlderThan(e.tag) || c.loads.hasBefore(e.tag)
 }
 
 // ---------------------------------------------------------------------
@@ -1002,13 +1138,16 @@ func (c *Core) dispatchOne(f *fetched) {
 	e.forwardTag = -1
 	e.doneCycle = -1
 
-	// Rename: bind sources to producers or architectural values.
+	// Rename: bind sources to producers or architectural values. Each
+	// bind counts on the producer so commit's unlink can skip its scan
+	// once every reference has latched (entry.consumers).
 	if f.inst.ReadsReg(1) {
 		r := f.inst.Src1
 		e.reads1 = true
 		if p := c.renameMap[r]; p != nil && r != isa.RZero {
 			e.src1 = p
 			e.src1Gen = p.gen
+			p.consumers++
 		} else {
 			e.src1Val = c.arch.ReadReg(r)
 		}
@@ -1019,6 +1158,7 @@ func (c *Core) dispatchOne(f *fetched) {
 		if p := c.renameMap[r]; p != nil && r != isa.RZero {
 			e.src2 = p
 			e.src2Gen = p.gen
+			p.consumers++
 		} else {
 			e.src2Val = c.arch.ReadReg(r)
 		}
@@ -1044,6 +1184,7 @@ func (c *Core) dispatchOne(f *fetched) {
 		e.isLoad = true
 		e.inIQ = true
 		c.iq = append(c.iq, e)
+		c.loads.add(e.tag)
 		if c.vp != nil && !(c.noReplayArmed && e.pc == c.noReplayPC) {
 			if v, ok := c.vp.Predict(e.pc); ok {
 				// Consumers may use the predicted value immediately;
@@ -1075,6 +1216,7 @@ func (c *Core) dispatchOne(f *fetched) {
 		c.iq = append(c.iq, e)
 		c.sq.Insert(e.tag, e.pc)
 		c.psd = append(c.psd, e)
+		c.psdQuiet = false
 		if c.ssets != nil {
 			c.ssets.StoreDispatched(e.pc, e.tag)
 		}
@@ -1083,6 +1225,12 @@ func (c *Core) dispatchOne(f *fetched) {
 		c.iq = append(c.iq, e)
 	}
 	c.rob.Push(e)
+	// Dispatch wakes the issue stage (a new queue entry) and, when the
+	// ROB was empty, commit (the new head may already be done).
+	c.issueQuiet = false
+	if c.rob.Len() == 1 {
+		c.commitQuiet = false
+	}
 }
 
 // ---------------------------------------------------------------------
@@ -1164,11 +1312,32 @@ func (c *Core) squashFrom(fromTag int64, newPC uint64, branchRepair bool) {
 	}
 	c.Stats.SquashedInstrs += uint64(robLen-cut) + uint64(c.fetchQ.Len())
 	// Recycle the killed entries (oldest first, matching the old append
-	// order) before the ring drops its references.
+	// order) before the ring drops its references. Each killed consumer
+	// still holding a producer pointer releases its reference count, and
+	// killed loads leave the incomplete-load bitset.
 	for i := cut; i < robLen; i++ {
-		c.pool.put(c.rob.At(i))
+		e := c.rob.At(i)
+		if e.src1 != nil {
+			e.src1.consumers--
+		}
+		if e.src2 != nil {
+			e.src2.consumers--
+		}
+		if e.isLoad {
+			c.loads.remove(e.tag)
+		}
+		c.pool.put(e)
 	}
 	c.rob.TruncateFrom(cut)
+	// Wake every sleeping stage: occupancies and readiness changed, and
+	// issue must drop any strays the cut left behind. The settled-prefix
+	// replay cursor clamps to the surviving prefix.
+	c.issueQuiet = false
+	c.psdQuiet = false
+	c.commitQuiet = false
+	if c.replayBase > cut {
+		c.replayBase = cut
+	}
 
 	// Rebuild the rename map from survivors.
 	for i := range c.renameMap {
@@ -1291,6 +1460,7 @@ func (c *Core) portCap() int {
 // steady state). Architectural and microarchitectural state persist.
 func (c *Core) ResetStats() {
 	c.Stats = Stats{}
+	c.Skip = SkipStats{}
 	c.hier.Stats = cache.Stats{}
 	c.bp.Lookups, c.bp.Mispredicts = 0, 0
 	if c.eng != nil {

@@ -41,6 +41,12 @@ type entry struct {
 	reads1       bool
 	reads2       bool
 	histSnapshot uint64 // branch-history state at fetch, for repair
+	// consumers counts live references held by younger entries' srcN
+	// pointers: incremented at rename, decremented when a consumer
+	// latches the value (srcReady), is squashed, or is unlinked. When it
+	// is zero at commit, unlink's IQ+PSD scan is provably a no-op and
+	// skipped.
+	consumers int32
 
 	// Scheduling state.
 	inIQ   bool
@@ -125,6 +131,7 @@ func (e *entry) srcReady(n int) (uint64, bool) {
 	}
 	if p.done || p.resultReady {
 		v = p.result
+		p.consumers--
 		if n == 1 {
 			e.src1 = nil
 			e.src1Val = v

@@ -1,0 +1,98 @@
+package pipeline
+
+// White-box tests for the stage-skip readiness layer's loadTracker:
+// the sorted incomplete-load tag list must agree with a naive set
+// under dispatch/complete/squash sequences, including the gap-laden
+// tag patterns that squashes leave behind (tags are never reused, so
+// the live window is not contiguous — the bug class a residue bitset
+// would reintroduce).
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naiveLoads is the reference model: an unordered set of tags.
+type naiveLoads map[int64]bool
+
+func (n naiveLoads) hasBefore(tag int64) bool {
+	for t := range n {
+		if t < tag {
+			return true
+		}
+	}
+	return false
+}
+
+func TestLoadTrackerMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var tr loadTracker
+	tr.init(64)
+	ref := naiveLoads{}
+
+	live := []int64{} // tags currently tracked, ascending
+	next := int64(0)
+
+	check := func(q int64) {
+		t.Helper()
+		if got, want := tr.hasBefore(q), ref.hasBefore(q); got != want {
+			t.Fatalf("hasBefore(%d) = %v, naive = %v (live=%v)", q, got, want, live)
+		}
+	}
+
+	for step := 0; step < 20000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 4 && len(live) < 64: // dispatch a load
+			// Leave gaps in the tag sequence, as post-squash
+			// redispatch does.
+			next += 1 + int64(rng.Intn(5))
+			tr.add(next)
+			ref[next] = true
+			live = append(live, next)
+		case op < 7 && len(live) > 0: // complete one load, any order
+			i := rng.Intn(len(live))
+			tag := live[i]
+			tr.remove(tag)
+			delete(ref, tag)
+			live = append(live[:i], live[i+1:]...)
+		case op < 8 && len(live) > 0: // squash: kill a suffix
+			cut := rng.Intn(len(live))
+			for _, tag := range live[cut:] {
+				tr.remove(tag)
+				delete(ref, tag)
+			}
+			live = live[:cut]
+		default: // query around the live window
+			q := next - int64(rng.Intn(20)) + 5
+			check(q)
+		}
+		if len(live) > 0 {
+			check(live[0])     // oldest: never "before"
+			check(live[0] + 1) // just past the oldest: always "before"
+		}
+		check(next + 1) // youngest bound
+	}
+}
+
+// TestLoadTrackerRemoveAbsent: a squashed load that already completed
+// was removed at completion; the squash-path remove of the same tag
+// must be a no-op, not a corruption.
+func TestLoadTrackerRemoveAbsent(t *testing.T) {
+	var tr loadTracker
+	tr.init(8)
+	tr.add(10)
+	tr.add(20)
+	tr.remove(15) // never present
+	tr.remove(20)
+	tr.remove(20) // already gone
+	if !tr.hasBefore(11) {
+		t.Fatal("tag 10 lost by absent-tag removes")
+	}
+	if tr.hasBefore(10) {
+		t.Fatal("phantom tag older than 10")
+	}
+	tr.remove(10)
+	if tr.hasBefore(1 << 40) {
+		t.Fatal("tracker not empty after removing all tags")
+	}
+}

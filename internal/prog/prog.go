@@ -78,9 +78,22 @@ const (
 // words read as a deterministic hash of their address, so fresh memory
 // has varied, reproducible content. Image is not safe for concurrent
 // use; the simulator runs all cores in lock-step on one goroutine.
+//
+// Lightly-written pages live as individual words in a sparse overlay;
+// a page is materialized as a 4 KiB array only once enough distinct
+// words have been written to it. Pointer-chase workloads scatter a few
+// stores over thousands of pages, and eagerly materializing each page
+// (one array allocation plus a 512-word background fill per page) was
+// the dominant allocation source of the whole simulator on them.
 type Image struct {
 	pages map[uint64]*[pageWords]uint64
-	seed  uint64
+	// sparse holds written words of pages that are not materialized:
+	// word-aligned address → value.
+	sparse map[uint64]uint64
+	// sparseWords counts the distinct written words per unmaterialized
+	// page, to decide promotion.
+	sparseWords map[uint64]uint16
+	seed        uint64
 	// One-entry page cache: loads and stores cluster within pages, so
 	// remembering the last page touched short-circuits the map lookup on
 	// the simulator's per-access hot path.
@@ -88,10 +101,21 @@ type Image struct {
 	lastPG *[pageWords]uint64
 }
 
+// promoteWords is the distinct-written-word count at which a page stops
+// being a sparse overlay and becomes a real array: 1/16 of the page,
+// the break-even point between per-word map entries and the 4 KiB
+// array given map bucket overhead.
+const promoteWords = pageWords / 16
+
 // NewImage creates an image whose background content is derived from
 // seed.
 func NewImage(seed uint64) *Image {
-	return &Image{pages: make(map[uint64]*[pageWords]uint64), seed: seed}
+	return &Image{
+		pages:       make(map[uint64]*[pageWords]uint64),
+		sparse:      make(map[uint64]uint64),
+		sparseWords: make(map[uint64]uint16),
+		seed:        seed,
+	}
 }
 
 // mix64 is the SplitMix64 finalizer, used to derive background memory
@@ -111,48 +135,90 @@ func (im *Image) Background(addr uint64) uint64 {
 	return mix64((addr &^ 7) ^ im.seed)
 }
 
-func (im *Image) page(addr uint64, create bool) *[pageWords]uint64 {
+// page returns the materialized page holding addr, or nil.
+//
+//vbr:hotpath
+func (im *Image) page(addr uint64) *[pageWords]uint64 {
 	pn := addr >> pageShift
 	if pg := im.lastPG; pg != nil && im.lastPN == pn {
 		return pg
 	}
 	pg := im.pages[pn]
-	if pg == nil && create {
-		pg = new([pageWords]uint64)
-		base := pn << pageShift
-		for i := range pg {
-			pg[i] = im.Background(base + uint64(i)*8)
-		}
-		im.pages[pn] = pg
-	}
 	if pg != nil {
 		im.lastPN, im.lastPG = pn, pg
 	}
 	return pg
 }
 
+// materialize promotes page pn from the sparse overlay to a real
+// array: background fill, then the overlay words move in. Walking the
+// page's word addresses (rather than ranging over the sparse map)
+// keeps the fill order deterministic and the cost bounded by the page
+// size. Cold by design: each page gets here at most once.
+func (im *Image) materialize(pn uint64) *[pageWords]uint64 {
+	pg := new([pageWords]uint64)
+	base := pn << pageShift
+	for i := range pg {
+		a := base + uint64(i)*8
+		if v, ok := im.sparse[a]; ok {
+			pg[i] = v
+			delete(im.sparse, a)
+		} else {
+			pg[i] = im.Background(a)
+		}
+	}
+	im.pages[pn] = pg
+	delete(im.sparseWords, pn)
+	im.lastPN, im.lastPG = pn, pg
+	return pg
+}
+
 // Read returns the 64-bit word at addr (aligned down to 8 bytes).
+//
+//vbr:hotpath
 func (im *Image) Read(addr uint64) uint64 {
 	addr &^= 7
-	if pg := im.page(addr, false); pg != nil {
+	if pg := im.page(addr); pg != nil {
 		return pg[(addr&pageMask)>>3]
+	}
+	if v, ok := im.sparse[addr]; ok {
+		return v
 	}
 	return im.Background(addr)
 }
 
 // Write stores a 64-bit word at addr (aligned down to 8 bytes) and
 // reports whether the store was silent (wrote the value already there).
+//
+//vbr:hotpath
 func (im *Image) Write(addr, val uint64) (silent bool) {
 	addr &^= 7
-	pg := im.page(addr, true)
-	idx := (addr & pageMask) >> 3
-	silent = pg[idx] == val
-	pg[idx] = val
+	if pg := im.page(addr); pg != nil {
+		idx := (addr & pageMask) >> 3
+		silent = pg[idx] == val
+		pg[idx] = val
+		return silent
+	}
+	old, wasWritten := im.sparse[addr]
+	if !wasWritten {
+		old = im.Background(addr)
+	}
+	silent = old == val
+	im.sparse[addr] = val
+	if !wasWritten {
+		pn := addr >> pageShift
+		if n := im.sparseWords[pn] + 1; n >= promoteWords {
+			im.materialize(pn)
+		} else {
+			im.sparseWords[pn] = n
+		}
+	}
 	return silent
 }
 
 // Pages reports how many pages have been materialized (for tests and
-// footprint accounting).
+// footprint accounting). Pages whose writes all sit in the sparse
+// overlay are not counted.
 func (im *Image) Pages() int { return len(im.pages) }
 
 // ArchState is per-processor architectural register state plus the PC.

@@ -76,10 +76,53 @@ func TestImagePagesSparse(t *testing.T) {
 	if im.Pages() != 0 {
 		t.Errorf("reads materialized %d pages", im.Pages())
 	}
+	// Scattered single writes stay in the sparse overlay: no page
+	// arrays for a pointer chase that dirties one word per page.
 	im.Write(0, 1)
 	im.Write(1<<20, 1)
-	if im.Pages() != 2 {
-		t.Errorf("Pages = %d, want 2", im.Pages())
+	if im.Pages() != 0 {
+		t.Errorf("scattered writes materialized %d pages", im.Pages())
+	}
+	if im.Read(0) != 1 || im.Read(1<<20) != 1 {
+		t.Error("sparse overlay lost a written value")
+	}
+}
+
+func TestImagePagePromotion(t *testing.T) {
+	im := NewImage(7)
+	// Remember what the whole page should look like after the writes.
+	want := make([]uint64, pageWords)
+	for i := range want {
+		want[i] = im.Background(uint64(i) * 8)
+	}
+	// Write just enough distinct words to trigger promotion, plus one
+	// rewrite that must not count twice.
+	for i := 0; i < promoteWords-1; i++ {
+		im.Write(uint64(i)*8, uint64(100+i))
+		want[i] = uint64(100 + i)
+	}
+	im.Write(0, 100) // rewrite of an already-written word
+	if im.Pages() != 0 {
+		t.Fatalf("promoted after %d distinct words, want %d", promoteWords-1, promoteWords)
+	}
+	im.Write(uint64(promoteWords-1)*8, 999)
+	want[promoteWords-1] = 999
+	if im.Pages() != 1 {
+		t.Fatalf("Pages = %d after %d distinct words, want 1", im.Pages(), promoteWords)
+	}
+	// Every word — written or background — must read identically
+	// across the promotion.
+	for i := range want {
+		if got := im.Read(uint64(i) * 8); got != want[i] {
+			t.Fatalf("word %d = %#x after promotion, want %#x", i, got, want[i])
+		}
+	}
+	// Silent-store detection must agree with the materialized state.
+	if !im.Write(8, 101) {
+		t.Error("rewrite of same value not silent after promotion")
+	}
+	if im.Write(8, 42) {
+		t.Error("value change reported silent after promotion")
 	}
 }
 

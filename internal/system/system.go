@@ -67,6 +67,11 @@ type Options struct {
 	// correctness. Fast-forward is also suspended automatically whenever
 	// OnCycle is set: a per-cycle hook must observe every cycle.
 	NoFastForward bool
+	// NoStageSkip disables the intra-cycle stage-skip readiness layer
+	// (DESIGN.md §14): every core runs every stage scan every cycle.
+	// Like NoFastForward this is an A/B escape hatch — skipping is
+	// bit-identical to full stepping — not a correctness switch.
+	NoStageSkip bool
 	// WatchdogCycles, when positive, arms the forward-progress watchdog:
 	// if no core commits an instruction for this many consecutive
 	// cycles, the run stops and System.Deadlock holds a structured
@@ -175,6 +180,7 @@ func NewCustom(cfg config.Machine, program *prog.Program, inits []prog.ArchState
 		hier := cache.NewHierarchy(c, cfg.Hier, bus)
 		bus.AttachPeer(c, hier)
 		core := pipeline.New(c, cfg, program, img, hier, inits[c])
+		core.SetStageSkip(!opt.NoStageSkip)
 		// External invalidations reach the load queue (baseline) or the
 		// no-recent-snoop filter; castouts must be treated identically
 		// so snoop visibility is never lost (paper §3.1).
@@ -367,6 +373,17 @@ func allAddrs(procs [][]consistency.Op) []uint64 {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// StageSkipStats sums the per-core stage-skip counters (DESIGN.md §14).
+// Like FFStats they live outside Result, so skipping stays invisible to
+// the bit-identity contract while its rates remain observable.
+func (s *System) StageSkipStats() pipeline.SkipStats {
+	var t pipeline.SkipStats
+	for _, c := range s.Cores {
+		t.Add(c.Skip)
+	}
+	return t
 }
 
 // ResetStats zeroes all statistics (pipeline, caches, predictors, bus)
