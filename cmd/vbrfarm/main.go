@@ -75,7 +75,11 @@ func serve(args []string) {
 	var (
 		dir       = fs.String("dir", "farm.state", "state directory (result cache + jobs journal)")
 		addr      = fs.String("addr", "127.0.0.1:8373", "listen address")
-		shards    = fs.Int("shards", runtime.GOMAXPROCS(0), "worker pool shard count")
+		shards    = fs.Int("shards", runtime.GOMAXPROCS(0), "local worker pool shard count")
+		local     = fs.Bool("local", true, "execute cells on the local pool too (false = pure coordinator; cells wait for vbrworker processes)")
+		leaseTTL  = fs.Duration("lease-ttl", 10*time.Second, "worker lease TTL; an unheartbeated checkout re-queues after this")
+		sweep     = fs.Duration("sweep", 0, "lease expiry sweep interval (default lease-ttl/4)")
+		longPoll  = fs.Duration("longpoll", 30*time.Second, "max duration of one ?wait=1 status long-poll")
 		traceFile = fs.String("trace", "", "write farm lifecycle events as JSONL to this file")
 	)
 	fs.Parse(args)
@@ -91,7 +95,13 @@ func serve(args []string) {
 		tr = trace.New(sink)
 		defer tr.Flush()
 	}
-	s, err := farm.NewServer(*dir, *shards, tr)
+	s, err := farm.NewServerWith(*dir, farm.ServerOptions{
+		Shards:        *shards,
+		NoLocalExec:   !*local,
+		LeaseTTL:      *leaseTTL,
+		SweepInterval: *sweep,
+		LongPollMax:   *longPoll,
+	}, tr)
 	if err != nil {
 		fail(err)
 	}

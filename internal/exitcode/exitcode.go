@@ -11,8 +11,9 @@ const (
 	// OK is the success exit.
 	OK = 0
 	// Err covers usage errors and infrastructure failures (bad flags,
-	// unreadable files, profiling setup, failed sweep cells) — and, in
-	// vbrlint, any diagnostic finding.
+	// unreadable files, profiling setup, failed sweep cells) — in
+	// vbrlint, any diagnostic finding; in vbrworker, a fatal
+	// worker/server code-version mismatch (farm.VersionError).
 	Err = 1
 	// SCViolation is reported by vbrsim when the constraint-graph
 	// checker finds a cycle, i.e. the committed execution is not

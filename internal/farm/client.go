@@ -1,14 +1,19 @@
-// The farm client: a thin typed wrapper over the HTTP API, shared by
-// the vbrfarm CLI's submit/status/results modes and the end-to-end
-// tests. Every method round-trips the same JSON shapes the server
-// serves, so a CLI against a live farm and a test against an in-process
-// one exercise identical code.
+// The farm client: a typed wrapper over the HTTP API, shared by the
+// vbrfarm CLI's submit/status/results modes, the vbrworker runtime, and
+// the end-to-end tests. Every verb goes through one retrying request
+// path: transport errors (connection refused, reset, timeout) and 5xx
+// statuses back off exponentially up to a bounded attempt budget, which
+// is safe because the API is idempotent by construction — submissions
+// dedupe through the content-addressed cache and job IDs, completions
+// dedupe through the cache's first-write-wins journal.
 
 package farm
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -16,11 +21,53 @@ import (
 	"time"
 )
 
+// StatusError is a non-2xx HTTP answer from the farm server. It is
+// permanent for 4xx codes (the request itself is wrong; retrying cannot
+// help) and transient for 5xx (the client retries those itself).
+type StatusError struct {
+	Code int
+	Msg  string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("farm: server answered %d: %s", e.Code, e.Msg)
+}
+
+// RetryPolicy bounds the client's retry loop. The zero value means the
+// defaults: 5 attempts starting at 100ms, doubling to a 2s cap —
+// roughly 3s of patience, enough to ride out a server restart without
+// masking a genuinely dead endpoint for long.
+type RetryPolicy struct {
+	Attempts int           // total tries per request (min 1)
+	Base     time.Duration // first backoff delay
+	Max      time.Duration // backoff cap
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Attempts < 1 {
+		p.Attempts = 5
+	}
+	if p.Base <= 0 {
+		p.Base = 100 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = 2 * time.Second
+	}
+	return p
+}
+
 // Client talks to a farm server at Base (e.g. "http://127.0.0.1:8373").
 type Client struct {
 	Base string
 	// HTTP overrides the transport (nil = http.DefaultClient).
 	HTTP *http.Client
+	// Retry bounds the per-request retry loop (zero value = defaults).
+	// Set Attempts to 1 for fail-fast behavior.
+	Retry RetryPolicy
+	// Timeout bounds each individual HTTP attempt so a hung server
+	// cannot park a caller forever (0 = 2 minutes; long-polls size
+	// their own). Negative disables the bound.
+	Timeout time.Duration
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -34,13 +81,81 @@ func (c *Client) url(path string) string {
 	return strings.TrimRight(c.Base, "/") + path
 }
 
-// decode reads a JSON response, turning non-2xx statuses into errors
-// that carry the server's message.
-func decode(resp *http.Response, out any) error {
+func (c *Client) attemptTimeout() time.Duration {
+	switch {
+	case c.Timeout < 0:
+		return 0
+	case c.Timeout == 0:
+		return 2 * time.Minute
+	default:
+		return c.Timeout
+	}
+}
+
+// do runs one API request through the retry loop: marshal in (nil for
+// GET), decode the answer into out, back off and retry on transport
+// errors and 5xx statuses, fail immediately on 4xx. timeout bounds each
+// attempt (0 = the client's default).
+func (c *Client) do(method, path string, in, out any, timeout time.Duration) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return err
+		}
+	}
+	if timeout == 0 {
+		timeout = c.attemptTimeout()
+	}
+	pol := c.Retry.withDefaults()
+	delay := pol.Base
+	var lastErr error
+	for attempt := 0; attempt < pol.Attempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(delay)
+			if delay *= 2; delay > pol.Max {
+				delay = pol.Max
+			}
+		}
+		err := c.once(method, path, body, out, timeout)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		var se *StatusError
+		if errors.As(err, &se) && se.Code < 500 {
+			return err // the request is wrong; retrying cannot help
+		}
+	}
+	return fmt.Errorf("farm: giving up after %d attempts: %w", pol.Attempts, lastErr)
+}
+
+// once is a single HTTP attempt.
+func (c *Client) once(method, path string, body []byte, out any, timeout time.Duration) error {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.url(path), bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return fmt.Errorf("farm: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+		return &StatusError{Code: resp.StatusCode, Msg: strings.TrimSpace(string(msg))}
+	}
+	if out == nil {
+		return nil
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
 }
@@ -50,71 +165,95 @@ func decode(resp *http.Response, out any) error {
 // re-simulates) so cache behaviour can be measured.
 func (c *Client) Submit(spec JobSpec, fresh bool) (JobStatus, error) {
 	var st JobStatus
-	body, err := json.Marshal(spec)
-	if err != nil {
-		return st, err
-	}
-	url := c.url("/v1/jobs")
+	path := "/v1/jobs"
 	if fresh {
-		url += "?fresh=1"
+		path += "?fresh=1"
 	}
-	resp, err := c.httpClient().Post(url, "application/json", bytes.NewReader(body))
-	if err != nil {
-		return st, err
-	}
-	return st, decode(resp, &st)
+	return st, c.do("POST", path, spec, &st, 0)
 }
 
 // Status fetches a job's current state without blocking.
 func (c *Client) Status(id string) (JobStatus, error) {
 	var st JobStatus
-	resp, err := c.httpClient().Get(c.url("/v1/jobs/" + id))
-	if err != nil {
-		return st, err
-	}
-	return st, decode(resp, &st)
+	return st, c.do("GET", "/v1/jobs/"+id, nil, &st, 0)
 }
 
-// Wait blocks until the job leaves the running state, long-polling the
-// status endpoint (and retrying at poll intervals if a long-poll
-// connection drops — e.g. across a server restart, where the caller
-// resubmits and waits again).
+// Wait blocks until the job leaves the running state or the overall
+// timeout passes. Each round is a bounded long-poll: the server answers
+// with the current status at its horizon (so neither side is parked on
+// a connection indefinitely), the attempt itself carries a deadline
+// slightly past the poll window (so a hung server cannot block the
+// caller), and transport errors ride the normal backoff — a Wait in
+// flight across a server restart picks the job back up once recovery
+// has re-enqueued it.
 func (c *Client) Wait(id string, timeout time.Duration) (JobStatus, error) {
 	deadline := time.Now().Add(timeout)
 	for {
-		resp, err := c.httpClient().Get(c.url("/v1/jobs/" + id + "?wait=1"))
-		if err == nil {
-			var st JobStatus
-			if derr := decode(resp, &st); derr != nil {
-				return st, derr
-			}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return JobStatus{}, fmt.Errorf("farm: job %s still running after %s", id, timeout)
+		}
+		poll := 15 * time.Second
+		if poll > remaining {
+			poll = remaining
+		}
+		var st JobStatus
+		path := fmt.Sprintf("/v1/jobs/%s?wait=1&poll_ms=%d", id, poll.Milliseconds())
+		err := c.do("GET", path, nil, &st, poll+15*time.Second)
+		switch {
+		case err == nil:
 			if st.State != StateRunning {
 				return st, nil
 			}
+		default:
+			var se *StatusError
+			if errors.As(err, &se) && se.Code < 500 {
+				return st, err // e.g. 404: the job is genuinely unknown
+			}
+			// Transport-level trouble beyond do's own retries (most
+			// likely a restart still in progress): pace the outer loop.
+			time.Sleep(200 * time.Millisecond)
 		}
-		if time.Now().After(deadline) {
-			return JobStatus{}, fmt.Errorf("farm: job %s still running after %s", id, timeout)
-		}
-		time.Sleep(100 * time.Millisecond)
 	}
 }
 
 // Results fetches a completed job's ordered cell results and digest.
 func (c *Client) Results(id string) (JobResults, error) {
 	var out JobResults
-	resp, err := c.httpClient().Get(c.url("/v1/jobs/" + id + "/results"))
-	if err != nil {
-		return out, err
-	}
-	return out, decode(resp, &out)
+	return out, c.do("GET", "/v1/jobs/"+id+"/results", nil, &out, 0)
 }
 
 // Metrics fetches the server's counters.
 func (c *Client) Metrics() (MetricsSnapshot, error) {
 	var out MetricsSnapshot
-	resp, err := c.httpClient().Get(c.url("/v1/metrics"))
-	if err != nil {
-		return out, err
-	}
-	return out, decode(resp, &out)
+	return out, c.do("GET", "/v1/metrics", nil, &out, 0)
+}
+
+// Health fetches the server's liveness answer, including its
+// code-version fingerprint — the field workers use to refuse a
+// mismatched server.
+func (c *Client) Health() (map[string]string, error) {
+	out := map[string]string{}
+	return out, c.do("GET", "/v1/healthz", nil, &out, 0)
+}
+
+// Lease checks out up to req.Max cells for req.Worker.
+func (c *Client) Lease(req LeaseRequest) (LeaseResponse, error) {
+	var out LeaseResponse
+	return out, c.do("POST", "/v1/cells/lease", req, &out, 0)
+}
+
+// Heartbeat renews every lease the worker holds.
+func (c *Client) Heartbeat(worker string) (HeartbeatResponse, error) {
+	var out HeartbeatResponse
+	return out, c.do("POST", "/v1/cells/heartbeat", HeartbeatRequest{Worker: worker}, &out, 0)
+}
+
+// Complete uploads one finished cell. The server caches the result
+// durably before acknowledging, so a worker crash after this call
+// returns loses nothing; retries and post-expiry completions dedupe to
+// a benign Duplicate.
+func (c *Client) Complete(req CompleteRequest) (CompleteResponse, error) {
+	var out CompleteResponse
+	return out, c.do("POST", "/v1/cells/complete", req, &out, 0)
 }

@@ -1,0 +1,153 @@
+package farm
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fastRetry keeps test backoff delays in the low milliseconds.
+var fastRetry = RetryPolicy{Attempts: 4, Base: time.Millisecond, Max: 4 * time.Millisecond}
+
+// TestClientRetries5xx: a server that throws 503 twice and then answers
+// is a restart in progress, not a failure — the client rides it out.
+func TestClientRetries5xx(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			http.Error(w, "restarting", http.StatusServiceUnavailable)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+	}))
+	defer srv.Close()
+
+	c := &Client{Base: srv.URL, Retry: fastRetry}
+	h, err := c.Health()
+	if err != nil {
+		t.Fatalf("health through two 503s: %v", err)
+	}
+	if h["status"] != "ok" {
+		t.Fatalf("health answer %v, want the post-recovery body", h)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3 (two failures + success)", got)
+	}
+}
+
+// TestClientNoRetryOn4xx: a 4xx means the request itself is wrong;
+// retrying would only hammer the server with the same mistake.
+func TestClientNoRetryOn4xx(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "no such job", http.StatusNotFound)
+	}))
+	defer srv.Close()
+
+	c := &Client{Base: srv.URL, Retry: fastRetry}
+	_, err := c.Status("deadbeef")
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusNotFound {
+		t.Fatalf("err = %v, want a 404 StatusError", err)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("server saw %d attempts for a 404, want exactly 1", got)
+	}
+}
+
+// refusingTransport fails every round trip at the transport layer, the
+// shape of connection-refused while a server is down.
+type refusingTransport struct{ calls atomic.Int64 }
+
+func (rt *refusingTransport) RoundTrip(*http.Request) (*http.Response, error) {
+	rt.calls.Add(1)
+	return nil, fmt.Errorf("dial tcp: connection refused")
+}
+
+// TestClientRetriesTransportErrors: connection-refused burns the full
+// attempt budget (the server may be seconds from coming back), then
+// surfaces the underlying error.
+func TestClientRetriesTransportErrors(t *testing.T) {
+	rt := &refusingTransport{}
+	c := &Client{
+		Base:  "http://127.0.0.1:0",
+		HTTP:  &http.Client{Transport: rt},
+		Retry: fastRetry,
+	}
+	_, err := c.Metrics()
+	if err == nil {
+		t.Fatal("metrics against a refusing transport succeeded")
+	}
+	if got := rt.calls.Load(); got != int64(fastRetry.Attempts) {
+		t.Fatalf("transport saw %d attempts, want the full budget of %d", got, fastRetry.Attempts)
+	}
+}
+
+// TestClientRecoversMidBudget: transport failures followed by a healthy
+// answer inside the attempt budget succeed without surfacing any error
+// — the vbrworker backoff loop leans on this to survive restarts.
+func TestClientRecoversMidBudget(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(MetricsSnapshot{JobsAccepted: 7})
+	}))
+	defer srv.Close()
+
+	var calls atomic.Int64
+	real := http.DefaultTransport
+	c := &Client{
+		Base: srv.URL,
+		HTTP: &http.Client{Transport: roundTripFunc(func(r *http.Request) (*http.Response, error) {
+			if calls.Add(1) <= 2 {
+				return nil, fmt.Errorf("read: connection reset by peer")
+			}
+			return real.RoundTrip(r)
+		})},
+		Retry: fastRetry,
+	}
+	m, err := c.Metrics()
+	if err != nil {
+		t.Fatalf("metrics through two resets: %v", err)
+	}
+	if m.JobsAccepted != 7 {
+		t.Fatalf("metrics %+v, want the server's answer", m)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("transport saw %d attempts, want 3", got)
+	}
+}
+
+type roundTripFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }
+
+// TestClientAttemptTimeout: a server that accepts the connection and
+// then sits on it cannot park the client — the per-attempt deadline
+// fires and the budget drains.
+func TestClientAttemptTimeout(t *testing.T) {
+	block := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-block
+	}))
+	defer srv.Close()
+	defer close(block) // LIFO: unblock the handler before srv.Close waits on it
+
+	c := &Client{
+		Base:    srv.URL,
+		Retry:   RetryPolicy{Attempts: 2, Base: time.Millisecond, Max: time.Millisecond},
+		Timeout: 50 * time.Millisecond,
+	}
+	start := time.Now()
+	_, err := c.Health()
+	if err == nil {
+		t.Fatal("health against a hanging server succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("hanging server held the client for %s, want ~100ms", elapsed)
+	}
+}

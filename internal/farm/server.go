@@ -20,8 +20,10 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"vbmo/internal/farm/cachekey"
 	"vbmo/internal/par"
@@ -119,10 +121,65 @@ func (j *job) status() JobStatus {
 	}
 }
 
-// Server is the farm service. Create with NewServer, serve with Start,
-// shut down with Stop.
+// ServerOptions tunes the farm service beyond its defaults. The zero
+// value of every field means "use the default".
+type ServerOptions struct {
+	// Shards is the local work-stealing pool's shard count (default
+	// GOMAXPROCS via NewServer; minimum 1).
+	Shards int
+	// NoLocalExec turns the server into a pure coordinator: cache
+	// misses wait for remote workers instead of also being drained by
+	// the local pool. The default (false) is hybrid execution — the
+	// local pool is the fallback that finishes a job even if every
+	// worker dies.
+	NoLocalExec bool
+	// LeaseTTL is how long a checked-out cell survives without a
+	// heartbeat before the sweeper re-queues it (default 10s).
+	LeaseTTL time.Duration
+	// SweepInterval is the expiry sweeper's period (default LeaseTTL/4,
+	// floored at 10ms).
+	SweepInterval time.Duration
+	// LongPollMax bounds a ?wait=1 status long-poll: the server answers
+	// with the current status at this horizon even if the job is still
+	// running (default 30s).
+	LongPollMax time.Duration
+	// MaxLeaseBatch caps the cells one lease request may check out
+	// (default 64).
+	MaxLeaseBatch int
+	// Clock overrides the lease clock (nil = time.Now). A test seam:
+	// lease-lifecycle tests advance a fake clock instead of sleeping
+	// through real TTLs.
+	Clock func() time.Time
+}
+
+// withDefaults fills unset options.
+func (o ServerOptions) withDefaults() ServerOptions {
+	if o.Shards < 1 {
+		o.Shards = 1
+	}
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = 10 * time.Second
+	}
+	if o.SweepInterval <= 0 {
+		o.SweepInterval = o.LeaseTTL / 4
+	}
+	if o.SweepInterval < 10*time.Millisecond {
+		o.SweepInterval = 10 * time.Millisecond
+	}
+	if o.LongPollMax <= 0 {
+		o.LongPollMax = 30 * time.Second
+	}
+	if o.MaxLeaseBatch <= 0 {
+		o.MaxLeaseBatch = 64
+	}
+	return o
+}
+
+// Server is the farm service. Create with NewServer (or NewServerWith
+// for tuned options), serve with Start, shut down with Stop.
 type Server struct {
 	dir     string
+	opt     ServerOptions
 	pool    *Pool
 	cache   *Cache
 	jobs    *par.Journal
@@ -133,15 +190,33 @@ type Server struct {
 	cond *sync.Cond
 	byID map[string]*job
 
+	// Lease state: pending cells by cache key, the FIFO of lease-able
+	// cells, the worker registry, and the expiry sweeper.
+	leaseMu  sync.Mutex
+	pending  map[string]*pendingCell
+	queue    []*pendingCell
+	workers  map[string]*workerInfo
+	leaseSeq uint64
+	sweeper  *time.Timer
+	closed   bool
+
 	ln   net.Listener
 	http *http.Server
 }
 
-// NewServer opens the farm's state directory (results.jsonl: the
-// content-addressed cache; jobs.jsonl: accepted specs and completion
-// markers), starts a pool with the given shard count, and re-enqueues
-// any job the previous process accepted but never completed.
+// NewServer opens the farm's state directory with default options and
+// the given local pool shard count. See NewServerWith.
 func NewServer(dir string, shards int, tr *trace.Tracer) (*Server, error) {
+	return NewServerWith(dir, ServerOptions{Shards: shards}, tr)
+}
+
+// NewServerWith opens the farm's state directory (results.jsonl: the
+// content-addressed cache; jobs.jsonl: accepted specs and completion
+// markers), starts the local pool and the lease-expiry sweeper, and
+// re-enqueues any job the previous process accepted but never
+// completed.
+func NewServerWith(dir string, opt ServerOptions, tr *trace.Tracer) (*Server, error) {
+	opt = opt.withDefaults()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -156,18 +231,22 @@ func NewServer(dir string, shards int, tr *trace.Tracer) (*Server, error) {
 	}
 	s := &Server{
 		dir:     dir,
-		pool:    NewPool(shards),
+		opt:     opt,
+		pool:    NewPool(opt.Shards),
 		cache:   cache,
 		jobs:    jobs,
 		tr:      tr,
 		metrics: &Metrics{},
 		byID:    make(map[string]*job),
+		pending: make(map[string]*pendingCell),
+		workers: make(map[string]*workerInfo),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	if err := s.recover(); err != nil {
 		s.Stop()
 		return nil, err
 	}
+	s.scheduleSweep()
 	return s, nil
 }
 
@@ -240,31 +319,15 @@ func (s *Server) enqueue(spec JobSpec, fresh bool) (*job, error) {
 	}
 
 	for i := range cells {
-		i := i
 		var raw json.RawMessage
 		if s.cache.Get(keys[i], &raw) {
 			s.finishCell(j, i, raw, true, nil)
 			continue
 		}
-		shard := shardOf(keys[i], s.pool.Shards())
-		ok := s.pool.Submit(shard, func() {
-			res, execErr := j.cells[i].Execute()
-			if execErr == nil {
-				// Cache before acknowledging: once a result is visible it
-				// must be durable, or a crash between the two could serve a
-				// cell cheaply now and expensively later.
-				if cerr := s.cache.Put(keys[i], res); cerr != nil {
-					execErr = cerr
-				}
-			}
-			s.finishCell(j, i, res, false, execErr)
-		})
-		if !ok {
-			s.mu.Lock()
-			j.interrupted = true
-			s.cond.Broadcast()
-			s.mu.Unlock()
-		}
+		// Cache miss: the cell goes to the dispatcher, where the local
+		// pool and remote worker leases drain one shared queue. Equal
+		// keys across jobs share one pending cell and one execution.
+		s.dispatch(j, i, cells[i], keys[i])
 	}
 	return j, nil
 }
@@ -339,14 +402,16 @@ func shardOf(key string, shards int) int {
 	return int(h.Sum32() % uint32(shards))
 }
 
-// Snapshot returns the current metrics, including pool occupancy and
-// cache counters.
+// Snapshot returns the current metrics, including pool occupancy,
+// cache counters, lease-protocol counters, and the worker registry.
 func (s *Server) Snapshot() MetricsSnapshot {
 	snap := s.metrics.snapshot()
 	snap.ShardOccupancy = s.pool.Occupancy()
 	snap.TasksStolen = s.pool.Stolen()
 	snap.CacheEntries = s.cache.Len()
 	snap.CacheHits, snap.CacheMisses = s.cache.Stats()
+	snap.QueuedCells, snap.PendingCells = s.queueDepth()
+	snap.Workers = s.workerSnapshots()
 	return snap
 }
 
@@ -356,6 +421,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleResults)
+	mux.HandleFunc("POST /v1/cells/lease", s.handleLease)
+	mux.HandleFunc("POST /v1/cells/heartbeat", s.handleHeartbeat)
+	mux.HandleFunc("POST /v1/cells/complete", s.handleComplete)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{
@@ -385,12 +453,29 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	wait := r.URL.Query().Get("wait") == "1"
+	// A long-poll is bounded: at the horizon the current status goes
+	// back even if the job is still running, so a caller is never
+	// parked on a connection indefinitely. Clients loop (Client.Wait).
+	poll := s.opt.LongPollMax
+	if ms, err := strconv.ParseInt(r.URL.Query().Get("poll_ms"), 10, 64); err == nil && ms > 0 {
+		if d := time.Duration(ms) * time.Millisecond; d < poll {
+			poll = d
+		}
+	}
 	s.mu.Lock()
 	j, ok := s.byID[id]
-	if ok && wait {
-		for j.state() == StateRunning {
+	if ok && wait && j.state() == StateRunning {
+		deadline := time.Now().Add(poll)
+		// sync.Cond has no timed wait; an AfterFunc broadcast bounds it.
+		t := time.AfterFunc(poll, func() {
+			s.mu.Lock()
+			s.cond.Broadcast()
+			s.mu.Unlock()
+		})
+		for j.state() == StateRunning && time.Now().Before(deadline) {
 			s.cond.Wait()
 		}
+		t.Stop()
 	}
 	var st JobStatus
 	if ok {
@@ -459,10 +544,12 @@ func (s *Server) Start(addr string) (net.Addr, error) {
 
 // Stop shuts the server down abruptly — the crash analog the journal is
 // built for. Queued cells are dropped (recovery re-runs them), in-flight
-// cells finish into the cache, incomplete jobs are marked interrupted,
-// and the journals are closed. Stop returns how many queued cells were
-// dropped.
+// cells finish into the cache, leases evaporate with the process's
+// memory (a worker's late completion lands in the next incarnation's
+// cache benignly), incomplete jobs are marked interrupted, and the
+// journals are closed. Stop returns how many queued cells were dropped.
 func (s *Server) Stop() int {
+	s.stopSweeper()
 	if s.http != nil {
 		_ = s.http.Close()
 	}

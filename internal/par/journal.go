@@ -4,10 +4,37 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"sync"
 )
+
+// JournalError is a failed write or fsync on the journal's append path.
+// Appends are the journal's durability promise — a sweep that keeps
+// running after a silent append failure would re-simulate "checkpointed"
+// cells on resume, and a farm cache that dropped a result would serve a
+// cell cheaply now and expensively later — so the error is typed: any
+// caller can errors.As for it and distinguish "the disk is failing"
+// from "this cell misbehaved".
+type JournalError struct {
+	Path string // journal file
+	Op   string // "append" or "fsync"
+	Err  error  // the underlying filesystem error
+}
+
+func (e *JournalError) Error() string {
+	return fmt.Sprintf("par: journal %s: %s failed: %v", e.Path, e.Op, e.Err)
+}
+
+func (e *JournalError) Unwrap() error { return e.Err }
+
+// journalFile is the slice of *os.File the journal's append path needs;
+// an interface so tests can inject disk-full-style failures.
+type journalFile interface {
+	io.WriteCloser
+	Sync() error
+}
 
 // Journal is a JSONL checkpoint for sweeps: one header line binding the
 // file to a sweep fingerprint, then one line per completed cell
@@ -19,7 +46,8 @@ import (
 // resumed sweep's folds are bit-identical to an uninterrupted run's.
 type Journal struct {
 	mu     sync.Mutex
-	f      *os.File
+	f      journalFile
+	path   string
 	closed bool
 	done   map[string]json.RawMessage
 }
@@ -41,7 +69,7 @@ type journalHeader struct {
 // different fingerprint belongs to a different sweep and is discarded
 // with an error rather than silently mixed in.
 func OpenJournal(path, fingerprint string) (*Journal, error) {
-	j := &Journal{done: make(map[string]json.RawMessage)}
+	j := &Journal{path: path, done: make(map[string]json.RawMessage)}
 	// validLen is how many leading bytes of the existing file hold intact
 	// lines; everything after (a truncated tail from a killed run, or an
 	// unparsable record) is cut before appending resumes.
@@ -93,11 +121,11 @@ func OpenJournal(path, fingerprint string) (*Journal, error) {
 		hdr, _ := json.Marshal(journalHeader{Fingerprint: fingerprint})
 		if _, err := f.Write(append(hdr, '\n')); err != nil {
 			f.Close()
-			return nil, err
+			return nil, &JournalError{Path: path, Op: "append", Err: err}
 		}
 		if err := f.Sync(); err != nil {
 			f.Close()
-			return nil, err
+			return nil, &JournalError{Path: path, Op: "fsync", Err: err}
 		}
 	}
 	return j, nil
@@ -137,7 +165,9 @@ func (j *Journal) Lookup(key string, out any) bool {
 
 // Record appends one completed cell and fsyncs. Safe for concurrent
 // workers; calls after Close are dropped (a timed-out straggler may
-// finish after the sweep gave up on it).
+// finish after the sweep gave up on it). Write and fsync failures come
+// back as a *JournalError, and the cell is NOT marked done in memory —
+// the checkpoint only ever claims what the disk durably holds.
 func (j *Journal) Record(key string, result any) error {
 	raw, err := json.Marshal(result)
 	if err != nil {
@@ -156,10 +186,10 @@ func (j *Journal) Record(key string, result any) error {
 		return nil
 	}
 	if _, err := j.f.Write(append(line, '\n')); err != nil {
-		return err
+		return &JournalError{Path: j.path, Op: "append", Err: err}
 	}
 	if err := j.f.Sync(); err != nil {
-		return err
+		return &JournalError{Path: j.path, Op: "fsync", Err: err}
 	}
 	j.done[key] = raw
 	return nil

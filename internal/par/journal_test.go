@@ -1,6 +1,7 @@
 package par
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -231,5 +232,78 @@ func TestJournalDuplicateKeyKeepsFirst(t *testing.T) {
 	var got cellResult
 	if !j.Lookup("cell-a", &got) || got.Count != 1 {
 		t.Fatalf("got %+v, want first record", got)
+	}
+}
+
+// failingFile wraps a journalFile, failing writes or syncs on command —
+// the disk-full / dying-disk analog for the append path.
+type failingFile struct {
+	inner     journalFile
+	failWrite bool
+	failSync  bool
+}
+
+func (f *failingFile) Write(p []byte) (int, error) {
+	if f.failWrite {
+		return 0, errors.New("no space left on device")
+	}
+	return f.inner.Write(p)
+}
+
+func (f *failingFile) Sync() error {
+	if f.failSync {
+		return errors.New("input/output error")
+	}
+	return f.inner.Sync()
+}
+
+func (f *failingFile) Close() error { return f.inner.Close() }
+
+// TestJournalAppendFailureTyped: a failed write or fsync surfaces as a
+// *JournalError naming the file and operation, and the cell is NOT
+// marked done in memory — the checkpoint never claims more than the
+// disk durably holds. Clearing the fault lets the same key record
+// normally.
+func TestJournalAppendFailureTyped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	j, err := OpenJournal(path, "fp-v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	ff := &failingFile{inner: j.f}
+	j.f = ff
+
+	for _, tc := range []struct {
+		name   string
+		arm    func()
+		wantOp string
+	}{
+		{"write", func() { ff.failWrite = true; ff.failSync = false }, "append"},
+		{"fsync", func() { ff.failWrite = false; ff.failSync = true }, "fsync"},
+	} {
+		tc.arm()
+		err := j.Record("cell-"+tc.name, cellResult{IPC: 1, Count: 2})
+		var je *JournalError
+		if !errors.As(err, &je) {
+			t.Fatalf("%s failure: got %v, want *JournalError", tc.name, err)
+		}
+		if je.Op != tc.wantOp || je.Path != path || je.Unwrap() == nil {
+			t.Fatalf("%s failure: JournalError = %+v, want op %q on %s", tc.name, je, tc.wantOp, path)
+		}
+		var got cellResult
+		if j.Lookup("cell-"+tc.name, &got) {
+			t.Fatalf("%s failure: failed append still marked the cell done", tc.name)
+		}
+	}
+
+	// Fault cleared: the key records and reads back.
+	ff.failWrite, ff.failSync = false, false
+	if err := j.Record("cell-write", cellResult{IPC: 1, Count: 2}); err != nil {
+		t.Fatalf("record after clearing fault: %v", err)
+	}
+	var got cellResult
+	if !j.Lookup("cell-write", &got) || got.Count != 2 {
+		t.Fatalf("got %+v, want the recovered record", got)
 	}
 }

@@ -101,9 +101,15 @@ const (
 	// cells executed, Aux cells served from the result cache).
 	KFarmJob
 	// KFarmCell is one farm sweep cell reaching a terminal state: Reason
-	// is RFarmCellExecuted (simulated on a worker; Core is the shard) or
-	// RFarmCellCached (served from the content-addressed result cache).
+	// is RFarmCellExecuted (simulated on a worker; Core is the shard),
+	// RFarmCellCached (served from the content-addressed result cache),
+	// or RFarmCellRemote (completed by a remote worker process).
 	KFarmCell
+	// KFarmLease is a distributed-worker lease event: Reason is
+	// RFarmLeaseGranted (Aux the cells checked out), RFarmLeaseRenewed
+	// (heartbeat; Aux the leases extended), or RFarmLeaseExpired (Aux
+	// the cells re-queued after a missed heartbeat window).
+	KFarmLease
 
 	numKinds
 )
@@ -129,6 +135,7 @@ var kindNames = [numKinds]string{
 	KWatchdog:       "watchdog",
 	KFarmJob:        "farm-job",
 	KFarmCell:       "farm-cell",
+	KFarmLease:      "farm-lease",
 }
 
 // String returns the kind's stable wire name.
@@ -244,11 +251,20 @@ const (
 	// KFarmJob events.
 	RFarmJobAccepted
 	RFarmJobDone
-	// RFarmCellExecuted / RFarmCellCached qualify KFarmCell events: the
-	// cell was simulated on a worker, or its result was served from the
-	// content-addressed cache without running the simulator.
+	// RFarmCellExecuted / RFarmCellCached / RFarmCellRemote qualify
+	// KFarmCell events: the cell was simulated on a local pool worker,
+	// served from the content-addressed cache without running the
+	// simulator, or completed by a remote worker process.
 	RFarmCellExecuted
 	RFarmCellCached
+	RFarmCellRemote
+	// RFarmLeaseGranted / RFarmLeaseRenewed / RFarmLeaseExpired qualify
+	// KFarmLease events over a checked-out cell batch's lifetime: the
+	// checkout itself, a heartbeat extending its TTL, and the sweeper
+	// re-queueing cells whose worker stopped heartbeating.
+	RFarmLeaseGranted
+	RFarmLeaseRenewed
+	RFarmLeaseExpired
 
 	numReasons
 )
@@ -291,6 +307,10 @@ var reasonNames = [numReasons]string{
 	RFarmJobDone:      "farm-job-done",
 	RFarmCellExecuted: "farm-cell-exec",
 	RFarmCellCached:   "farm-cell-hit",
+	RFarmCellRemote:   "farm-cell-remote",
+	RFarmLeaseGranted: "farm-lease-grant",
+	RFarmLeaseRenewed: "farm-lease-renew",
+	RFarmLeaseExpired: "farm-lease-expire",
 }
 
 // String returns the reason's stable wire name ("" for RNone).
