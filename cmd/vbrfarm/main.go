@@ -82,7 +82,7 @@ func serve(args []string) {
 		longPoll  = fs.Duration("longpoll", 30*time.Second, "max duration of one ?wait=1 status long-poll")
 		traceFile = fs.String("trace", "", "write farm lifecycle events as JSONL to this file")
 	)
-	fs.Parse(args)
+	_ = fs.Parse(args) // ExitOnError: Parse cannot return a non-nil error
 
 	var tr *trace.Tracer
 	if *traceFile != "" {
@@ -150,7 +150,7 @@ func submit(args []string) {
 		wait     = fs.Bool("wait", false, "block until the job finishes")
 		timeout  = fs.Duration("timeout", 10*time.Minute, "wait deadline with -wait")
 	)
-	fs.Parse(args)
+	_ = fs.Parse(args) // ExitOnError: Parse cannot return a non-nil error
 	spec, err := readSpec(*specPath)
 	if err != nil {
 		fail(err)
@@ -179,7 +179,7 @@ func status(args []string) {
 		wait    = fs.Bool("wait", false, "block until the job finishes")
 		timeout = fs.Duration("timeout", 10*time.Minute, "wait deadline with -wait")
 	)
-	fs.Parse(args)
+	_ = fs.Parse(args) // ExitOnError: Parse cannot return a non-nil error
 	if *id == "" {
 		fail(fmt.Errorf("vbrfarm: -id is required"))
 	}
@@ -207,7 +207,7 @@ func results(args []string) {
 		id   = fs.String("id", "", "job ID")
 		out  = fs.String("o", "", "write results JSON here (default stdout)")
 	)
-	fs.Parse(args)
+	_ = fs.Parse(args) // ExitOnError: Parse cannot return a non-nil error
 	if *id == "" {
 		fail(fmt.Errorf("vbrfarm: -id is required"))
 	}
@@ -233,7 +233,7 @@ func results(args []string) {
 func metrics(args []string) {
 	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
 	addr := fs.String("addr", "http://127.0.0.1:8373", "farm server base URL")
-	fs.Parse(args)
+	_ = fs.Parse(args) // ExitOnError: Parse cannot return a non-nil error
 	c := &farm.Client{Base: *addr}
 	snap, err := c.Metrics()
 	if err != nil {

@@ -1,14 +1,20 @@
-// Command vbrlint runs the project's static-analysis suite: five
-// analyzers (determinism, hotalloc, nilguard, exitcode, doccheck)
-// that turn the simulator's runtime and documentation invariants —
-// bit-identical fixed-seed outputs, the allocation-free cycle loop,
-// zero-cost disabled hooks, the CLI exit contract, a real package
-// comment on every package — into compile-time checks. Stdlib-only: the module
-// stays dependency-free.
+// Command vbrlint runs the project's static-analysis suite: nine
+// analyzers that turn the simulator's runtime and documentation
+// invariants into compile-time checks. Five are syntactic
+// (determinism, hotalloc, nilguard, exitcode, doccheck — bit-identical
+// fixed-seed outputs, the allocation-free cycle loop, zero-cost
+// disabled hooks, the CLI exit contract, a real package comment on
+// every package) and four are flow-aware, built on the CFG/dataflow
+// engine in internal/analysis/flow (lockorder, condguard, goleak,
+// errflow — mutex ordering and all-paths release, the sync.Cond
+// protocol, goroutine/timer lifetimes, and never-dropped error
+// results in the concurrent packages). Stdlib-only: the module stays
+// dependency-free.
 //
-//	vbrlint ./...                    # lint the whole module
-//	vbrlint ./internal/pipeline      # one package
-//	vbrlint -json ./...              # machine-readable findings
+//	vbrlint ./...                            # lint the whole module
+//	vbrlint ./internal/pipeline              # one package
+//	vbrlint -json ./...                      # machine-readable findings
+//	vbrlint -analyzers lockorder,goleak ./...  # run a subset
 //
 // Findings go to stdout as file:line:col: analyzer: message (or a JSON
 // array with -json). The exit status is exitcode.OK when clean and
@@ -33,8 +39,15 @@ func main() {
 	var (
 		jsonOut = flag.Bool("json", false, "emit findings as a JSON array")
 		rootDir = flag.String("root", "", "module root (default: walk up from the working directory to go.mod)")
+		subset  = flag.String("analyzers", "", "comma-separated analyzer names to run (default: all nine)")
 	)
 	flag.Parse()
+
+	analyzers, err := analysis.Select(*subset)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vbrlint:", err)
+		os.Exit(exitcode.Err)
+	}
 
 	root := *rootDir
 	if root == "" {
@@ -50,7 +63,7 @@ func main() {
 		patterns = []string{"./..."}
 	}
 
-	diags, err := analysis.Run(root, patterns)
+	diags, err := analysis.RunAnalyzers(root, patterns, analyzers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(exitcode.Err)

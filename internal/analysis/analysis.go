@@ -1,7 +1,7 @@
 // Package analysis is vbrlint's engine: a stdlib-only static-analysis
 // framework (go/parser + go/types + go/importer — the module stays
-// dependency-free) plus the four project-specific analyzers that turn
-// the simulator's runtime invariants into compile-time checks:
+// dependency-free) plus the project-specific analyzers that turn the
+// simulator's runtime invariants into compile-time checks:
 //
 //   - determinism: simulator packages must stay bit-reproducible — no
 //     wall-clock time, no global math/rand, no order-dependent map
@@ -15,6 +15,20 @@
 //     disabled path.
 //   - exitcode: cmd/* may exit only through internal/exitcode
 //     constants; internal/* may not exit at all.
+//   - doccheck: every package carries a real doc comment.
+//
+// Four further analyzers are flow-aware, built on the CFG +
+// worklist-dataflow engine in the flow subpackage:
+//
+//   - lockorder: mutex discipline in internal/farm and internal/par —
+//     declared //vbr:lockorder acquisition order, no relock
+//     self-deadlock, every Lock released on all paths to return.
+//   - condguard: the sync.Cond protocol (Wait in a for loop holding
+//     the associated mutex; Signal/Broadcast while holding it).
+//   - goleak: every goroutine has a reachable exit path and every
+//     time.AfterFunc timer is captured and stopped.
+//   - errflow: error results in farm, par, and cmd packages are used
+//     on every path — never silently dropped or overwritten.
 //
 // Findings are suppressed with a line-targeted escape hatch:
 //
@@ -83,7 +97,45 @@ func Analyzers() []*Analyzer {
 		NilGuardAnalyzer,
 		ExitCodeAnalyzer,
 		DocCheckAnalyzer,
+		LockOrderAnalyzer,
+		CondGuardAnalyzer,
+		GoLeakAnalyzer,
+		ErrFlowAnalyzer,
 	}
+}
+
+// Select resolves comma-separated analyzer names against the full
+// suite, preserving canonical order. An empty spec selects everything;
+// an unknown name is an error listing the valid names.
+func Select(spec string) ([]*Analyzer, error) {
+	all := Analyzers()
+	if strings.TrimSpace(spec) == "" {
+		return all, nil
+	}
+	byName := map[string]*Analyzer{}
+	valid := make([]string, 0, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+		valid = append(valid, a.Name)
+	}
+	want := map[string]bool{}
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if byName[name] == nil {
+			return nil, fmt.Errorf("unknown analyzer %q (valid: %s)", name, strings.Join(valid, ", "))
+		}
+		want[name] = true
+	}
+	var sel []*Analyzer
+	for _, a := range all {
+		if want[a.Name] {
+			sel = append(sel, a)
+		}
+	}
+	return sel, nil
 }
 
 // allowDirective is one parsed "//vbr:allow <analyzer> <reason>"
@@ -173,8 +225,19 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 			kept = append(kept, d)
 		}
 	}
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
 	for _, al := range allows {
 		if !al.used {
+			// On a subset run, a directive for an analyzer that did not
+			// run is not stale — it just was not exercised. Only a full
+			// run may call a directive unused (that includes directives
+			// naming analyzers that do not exist at all).
+			if !ran[al.analyzer] && len(analyzers) != len(Analyzers()) {
+				continue
+			}
 			pos := pkg.Fset.Position(al.pos)
 			meta = append(meta, Diagnostic{
 				Analyzer: "vbrlint",
@@ -195,6 +258,12 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 // paths match the patterns (empty = all), and returns the sorted
 // findings.
 func Run(root string, patterns []string) ([]Diagnostic, error) {
+	return RunAnalyzers(root, patterns, Analyzers())
+}
+
+// RunAnalyzers is Run restricted to a chosen analyzer subset (the
+// cmd/vbrlint -analyzers flag).
+func RunAnalyzers(root string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
 	prog, err := LoadModule(root)
 	if err != nil {
 		return nil, err
@@ -204,7 +273,7 @@ func Run(root string, patterns []string) ([]Diagnostic, error) {
 		if !matchAny(pkg.Path, prog.ModulePath, patterns) {
 			continue
 		}
-		out = append(out, RunPackage(pkg, Analyzers())...)
+		out = append(out, RunPackage(pkg, analyzers)...)
 	}
 	sortDiagnostics(out)
 	return out, nil

@@ -28,6 +28,15 @@ var fixtureDirs = map[string]string{
 	"fix/internal/nodoc":    "testdata/src/nodoc",
 	"fix/internal/stubdoc":  "testdata/src/stubdoc",
 	"fix/internal/baddoc":   "testdata/src/baddoc",
+	// Flow-aware analyzer fixtures. The paths land inside the scopes
+	// the analyzers guard: the farm subtree for lockorder, the par
+	// subtree for goleak (both dodge the exact-suffix determinism
+	// scopes), cmd for errflow, and a neutral package for the
+	// tree-wide condguard.
+	"fix/internal/farm/locks":  "testdata/src/lockorder",
+	"fix/internal/condsync":    "testdata/src/condguard",
+	"fix/internal/par/leakers": "testdata/src/goleak",
+	"fix/cmd/errtool":          "testdata/src/errflow",
 }
 
 var (
@@ -140,6 +149,13 @@ func TestExitCodeInternalFixture(t *testing.T) {
 	checkFixture(t, "fix/internal/leaky")
 }
 
+// The flow-aware analyzer fixtures: each proves true positives and
+// guarded/suppressed negatives against the CFG/dataflow engine.
+func TestLockOrderFixture(t *testing.T) { checkFixture(t, "fix/internal/farm/locks") }
+func TestCondGuardFixture(t *testing.T) { checkFixture(t, "fix/internal/condsync") }
+func TestGoLeakFixture(t *testing.T)    { checkFixture(t, "fix/internal/par/leakers") }
+func TestErrFlowFixture(t *testing.T)   { checkFixture(t, "fix/cmd/errtool") }
+
 // The doccheck fixtures cover the three failure modes one per package:
 // no package comment at all, a stub comment, and a wrong-prefix
 // comment duplicated across two files.
@@ -188,10 +204,54 @@ func TestEachViolationFixtureNonzero(t *testing.T) {
 		"fix/internal/pipeline", "fix/internal/hot", "fix/internal/guards",
 		"fix/cmd/tool", "fix/internal/leaky", "fix/internal/lsq",
 		"fix/internal/nodoc", "fix/internal/stubdoc", "fix/internal/baddoc",
+		"fix/internal/farm/locks", "fix/internal/condsync",
+		"fix/internal/par/leakers", "fix/cmd/errtool",
 	} {
 		if n := len(RunPackage(fixturePackage(t, p), Analyzers())); n == 0 {
 			t.Errorf("%s: want nonzero findings, got 0", p)
 		}
+	}
+}
+
+// TestSelect pins the -analyzers flag semantics: canonical ordering,
+// whitespace tolerance, empty-means-all, and a hard error (listing the
+// valid names) on a typo.
+func TestSelect(t *testing.T) {
+	all, err := Select("")
+	if err != nil || len(all) != len(Analyzers()) {
+		t.Fatalf("Select(\"\") = %d analyzers, err %v; want the full suite", len(all), err)
+	}
+	sel, err := Select(" errflow , lockorder ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 2 || sel[0].Name != "lockorder" || sel[1].Name != "errflow" {
+		t.Errorf("Select subset = %v, want [lockorder errflow] in canonical order", names(sel))
+	}
+	if _, err := Select("lockordr"); err == nil || !strings.Contains(err.Error(), "valid:") {
+		t.Errorf("Select with a typo: err = %v, want unknown-analyzer error listing valid names", err)
+	}
+}
+
+func names(as []*Analyzer) []string {
+	var ns []string
+	for _, a := range as {
+		ns = append(ns, a.Name)
+	}
+	return ns
+}
+
+// TestSubsetRunSkipsForeignAllows: a subset run must not call another
+// analyzer's //vbr:allow directive unused — the directive was simply
+// not exercised. The condguard fixture's directive is the probe.
+func TestSubsetRunSkipsForeignAllows(t *testing.T) {
+	pkg := fixturePackage(t, "fix/internal/condsync")
+	sel, err := Select("lockorder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range RunPackage(pkg, sel) {
+		t.Errorf("subset run reported: %s", d)
 	}
 }
 

@@ -1,0 +1,237 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+var CondGuardAnalyzer = &Analyzer{
+	Name: "condguard",
+	Doc: "sync.Cond protocol: Wait only inside a for loop (the predicate must be " +
+		"re-checked after every wakeup) and only while holding the condition's " +
+		"mutex; Signal/Broadcast only while holding it",
+	Run: runCondGuard,
+}
+
+var condMethods = map[string]bool{"Wait": true, "Signal": true, "Broadcast": true}
+
+// condOpOf recognizes a sync.Cond method call and returns the
+// receiver's printed expression plus the method name.
+func condOpOf(info *types.Info, call *ast.CallExpr) (recv, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn, isFn := info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" || !condMethods[fn.Name()] {
+		return "", "", false
+	}
+	r := fn.Type().(*types.Signature).Recv()
+	if r == nil {
+		return "", "", false
+	}
+	rt := r.Type()
+	if p, isPtr := rt.(*types.Pointer); isPtr {
+		rt = p.Elem()
+	}
+	named, isNamed := rt.(*types.Named)
+	if !isNamed || named.Obj().Name() != "Cond" {
+		return "", "", false
+	}
+	return exprString(sel.X), fn.Name(), true
+}
+
+// condMutexes maps each condition variable (by base name) to the base
+// name of the mutex it was built over, scanning for
+// sync.NewCond(&<mutex>) in assignments and composite initializers
+// anywhere in the package.
+func condMutexes(pkg *Package) map[string]string {
+	assoc := map[string]string{}
+	record := func(condExpr ast.Expr, call ast.Expr) {
+		ce, ok := call.(*ast.CallExpr)
+		if !ok || len(ce.Args) != 1 {
+			return
+		}
+		sel, ok := ce.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "NewCond" {
+			return
+		}
+		fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+			return
+		}
+		arg := ce.Args[0]
+		if u, ok := arg.(*ast.UnaryExpr); ok {
+			arg = u.X
+		}
+		assoc[lastComponent(exprString(condExpr))] = lastComponent(exprString(arg))
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i := range n.Lhs {
+						record(n.Lhs[i], n.Rhs[i])
+					}
+				}
+			case *ast.ValueSpec:
+				if len(n.Names) == len(n.Values) {
+					for i := range n.Names {
+						record(n.Names[i], n.Values[i])
+					}
+				}
+			}
+			return true
+		})
+	}
+	return assoc
+}
+
+func runCondGuard(pass *Pass) {
+	info := pass.Pkg.Info
+	assoc := condMutexes(pass.Pkg)
+
+	for _, file := range pass.Pkg.Files {
+		funcBodies(file, func(name string, body *ast.BlockStmt) {
+			if !hasCondOps(info, body) {
+				return
+			}
+			checkCondFunc(pass, assoc, name, body)
+		})
+	}
+}
+
+func hasCondOps(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, _, ok := condOpOf(info, call); ok {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// checkCondFunc verifies every Cond call in one function body: the
+// lock dataflow supplies "which mutexes are definitely held here", and
+// an ancestor walk supplies "is this Wait inside a loop".
+func checkCondFunc(pass *Pass, assoc map[string]string, name string, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	g, res, a := solveLocks(info, body)
+
+	// Map each cond call to the CFG node containing it, then replay
+	// that block's transfers to recover the lock state at the call.
+	for _, blk := range g.Blocks {
+		f, reachable := res.In[blk]
+		if !reachable {
+			continue
+		}
+		for _, n := range blk.Nodes {
+			inspectOwnNode(n, func(m ast.Node) {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return
+				}
+				recv, method, ok := condOpOf(info, call)
+				if !ok {
+					return
+				}
+				condBase := lastComponent(recv)
+				mutexBase, known := assoc[condBase]
+				held := heldBases(f)
+				switch {
+				case known && !held[mutexBase]:
+					pass.Reportf(call.Pos(), "%s.%s in %s without definitely holding %s (the mutex %s was created over); calling it unlocked is a data race on the predicate",
+						recv, method, name, mutexBase, condBase)
+				case !known && len(held) == 0:
+					pass.Reportf(call.Pos(), "%s.%s in %s without holding any mutex; sync.Cond methods require the associated mutex held",
+						recv, method, name)
+				}
+				if method == "Wait" && !insideLoop(body, call) {
+					pass.Reportf(call.Pos(), "%s.Wait in %s is not inside a for loop; wakeups can be spurious, so the predicate must be re-checked in a loop",
+						recv, name)
+				}
+			})
+			f = a.Transfer(blk, n, f)
+		}
+	}
+}
+
+// inspectOwnNode visits m's subtree, skipping nested function
+// literals (their calls belong to a different function activation).
+func inspectOwnNode(n ast.Node, visit func(ast.Node)) {
+	var skipBody ast.Node // a RangeStmt head node carries its body blocks separately
+	if r, ok := n.(*ast.RangeStmt); ok {
+		skipBody = r.Body
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == skipBody {
+			return false
+		}
+		if _, ok := m.(*ast.FuncLit); ok && m != n {
+			return false
+		}
+		visit(m)
+		return true
+	})
+}
+
+// heldBases projects the must-held lock tokens down to their base
+// names (the names //vbr:lockorder and NewCond associations use).
+func heldBases(f lockFact) map[string]bool {
+	held := map[string]bool{}
+	for tok := range f.must {
+		if len(tok) > 3 && tok[len(tok)-3:] == "[r]" {
+			tok = tok[:len(tok)-3]
+		}
+		held[lastComponent(tok)] = true
+	}
+	return held
+}
+
+// insideLoop reports whether the call has a for/range ancestor within
+// the analyzed body (not crossing a function-literal boundary).
+func insideLoop(body *ast.BlockStmt, call *ast.CallExpr) bool {
+	inLoop := false
+	var walk func(n ast.Node, loop bool) bool
+	walk = func(n ast.Node, loop bool) bool {
+		found := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			if found || m == nil {
+				return false
+			}
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				if m != n {
+					return false
+				}
+			case *ast.ForStmt:
+				if m != n {
+					found = walk(m, true)
+					return false
+				}
+			case *ast.RangeStmt:
+				if m != n {
+					found = walk(m, true)
+					return false
+				}
+			case *ast.CallExpr:
+				if m == call {
+					inLoop = loop
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		return found
+	}
+	walk(body, false)
+	return inLoop
+}

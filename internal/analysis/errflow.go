@@ -1,0 +1,370 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"vbmo/internal/analysis/flow"
+)
+
+var ErrFlowAnalyzer = &Analyzer{
+	Name: "errflow",
+	Doc: "error results in the farm, par, and command packages must be used on " +
+		"every path: an error assigned from a call must be read (checked, " +
+		"returned, passed on) before being overwritten or going out of scope, " +
+		"and calls returning an error must not be used as bare statements",
+	Run: runErrFlow,
+}
+
+// errflowPackages: the durability-critical packages (the PR 9
+// JournalError work showed a silently dropped error can corrupt
+// recovery) plus every command.
+var errflowPackages = []string{"internal/farm", "internal/par", "cmd"}
+
+func runErrFlow(pass *Pass) {
+	if !pathInTree(pass.Pkg.Path, errflowPackages) {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		checkDiscardedErrCalls(pass, file)
+		funcBodies(file, func(name string, body *ast.BlockStmt) {
+			checkErrFlowFunc(pass, name, body)
+		})
+	}
+}
+
+// checkDiscardedErrCalls flags ExprStmt calls whose callee returns an
+// error that thus vanishes. go/defer statements are excluded (their
+// results are inherently discarded and flagged only when they matter
+// for durability, which defers of Close in this tree never do), as
+// are the stdlib families whose error results are documented never to
+// be meaningful (fmt printing, hash/strings/bytes writers).
+func checkDiscardedErrCalls(pass *Pass, file *ast.File) {
+	info := pass.Pkg.Info
+	ast.Inspect(file, func(n ast.Node) bool {
+		stmt, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		call, ok := stmt.X.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !callReturnsError(info, call) || errExemptCallee(info, call) {
+			return true
+		}
+		pass.Reportf(call.Pos(), "result of %s includes an error that is silently discarded; check it, return it, or assign to _ to make the drop explicit",
+			calleeLabel(call))
+		return true
+	})
+}
+
+func calleeLabel(call *ast.CallExpr) string {
+	return exprString(call.Fun)
+}
+
+// callReturnsError reports whether any result of the call has type error.
+func callReturnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// errExemptCallee exempts callees whose error results are
+// conventionally meaningless: the fmt print family, and Write-style
+// methods from hash/strings/bytes (documented to never fail).
+func errExemptCallee(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	switch {
+	case path == "fmt":
+		return true
+	case path == "hash" || strings.HasPrefix(path, "hash/"):
+		return true
+	case (path == "strings" || path == "bytes") && strings.HasPrefix(obj.Name(), "Write"):
+		return true
+	}
+	return false
+}
+
+// errFact tracks "pending" error definitions: error-typed locals
+// assigned from a call and not yet read. The map is keyed by the
+// variable object; the value is the assignment position (where the
+// diagnostic points). Join is union — pending on any path is a drop
+// if that path reaches exit or an overwrite.
+type errFact map[types.Object]token.Pos
+
+type errAnalysis struct {
+	info    *types.Info
+	tracked map[types.Object]bool
+}
+
+func (errAnalysis) Entry() errFact { return errFact{} }
+
+func (a errAnalysis) Transfer(_ *flow.Block, n ast.Node, f errFact) errFact {
+	reads, defs := a.readsAndDefs(n)
+	if len(reads) == 0 && len(defs) == 0 {
+		return f
+	}
+	g := make(errFact, len(f))
+	for k, v := range f {
+		g[k] = v
+	}
+	for _, obj := range reads {
+		delete(g, obj)
+	}
+	for obj, pos := range defs {
+		if pos == token.NoPos {
+			delete(g, obj) // non-call assignment (err = nil): kills pending
+		} else {
+			g[obj] = pos
+		}
+	}
+	return g
+}
+
+func (errAnalysis) Join(a, b errFact) errFact {
+	j := make(errFact, len(a)+len(b))
+	for k, v := range a {
+		j[k] = v
+	}
+	for k, v := range b {
+		if old, ok := j[k]; !ok || v < old {
+			j[k] = v
+		}
+	}
+	return j
+}
+
+func (errAnalysis) Equal(a, b errFact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if w, ok := b[k]; !ok || w != v {
+			return false
+		}
+	}
+	return true
+}
+
+// readsAndDefs splits one CFG node into the tracked objects it reads
+// and the ones it (re)defines. A def carries the assignment position
+// when the value comes from a call (a droppable error), or NoPos for
+// a plain value (err = nil) that merely kills older pending state.
+// Defer bodies are skipped: a deferred use runs at return, after the
+// dataflow's exit check, and crediting it here would be unsound —
+// except that a deferred read is still a genuine use, so defers count
+// as reads but produce no defs.
+func (a errAnalysis) readsAndDefs(n ast.Node) (reads []types.Object, defs map[types.Object]token.Pos) {
+	defs = map[types.Object]token.Pos{}
+	collectReads := func(e ast.Node) {
+		if e == nil {
+			return
+		}
+		var skipBody ast.Node // a RangeStmt head node carries its body blocks separately
+		if r, ok := e.(*ast.RangeStmt); ok {
+			skipBody = r.Body
+		}
+		ast.Inspect(e, func(m ast.Node) bool {
+			if m == skipBody {
+				return false
+			}
+			if _, ok := m.(*ast.FuncLit); ok {
+				return false // closure-captured vars are not tracked at all
+			}
+			if id, ok := m.(*ast.Ident); ok {
+				if obj := a.info.Uses[id]; obj != nil && a.tracked[obj] {
+					reads = append(reads, obj)
+				}
+			}
+			return true
+		})
+	}
+
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for _, rhs := range n.Rhs {
+			collectReads(rhs)
+		}
+		fromCall := len(n.Rhs) == 1 && isCallLike(n.Rhs[0])
+		for i, lhs := range n.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				collectReads(lhs) // m[err] = ..., s.f = ... read their operands
+				continue
+			}
+			obj := a.info.Defs[id]
+			if obj == nil {
+				obj = a.info.Uses[id]
+			}
+			if obj == nil || !a.tracked[obj] {
+				continue
+			}
+			pos := token.NoPos
+			if fromCall || (len(n.Rhs) == len(n.Lhs) && isCallLike(n.Rhs[i])) {
+				pos = id.Pos()
+			}
+			defs[obj] = pos
+		}
+	default:
+		collectReads(n)
+	}
+	return reads, defs
+}
+
+func isCallLike(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		return true
+	case *ast.UnaryExpr:
+		return e.Op == token.ARROW // <-ch delivers a value that must be handled too
+	case *ast.TypeAssertExpr:
+		return true
+	case *ast.IndexExpr:
+		return true
+	}
+	return false
+}
+
+// trackedErrVars selects the variables the dataflow follows: locals
+// of exactly type error declared inside this body, excluding named
+// results (read by naked returns) and anything captured by a nested
+// function literal (the closure may read it later, beyond
+// intra-procedural sight).
+func trackedErrVars(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	tracked := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Defs[id]
+		if obj == nil || obj.Parent() == nil {
+			return true
+		}
+		if v, ok := obj.(*types.Var); ok && isErrorType(v.Type()) && !v.IsField() {
+			tracked[obj] = true
+		}
+		return true
+	})
+	// Remove anything a closure captures or a defer's call arguments
+	// mention: those uses happen outside the straight-line flow.
+	var pruneUses func(root ast.Node)
+	pruneUses = func(root ast.Node) {
+		ast.Inspect(root, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok {
+				if obj := info.Uses[id]; obj != nil {
+					delete(tracked, obj)
+				}
+			}
+			return true
+		})
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pruneUses(n.Body)
+			return false
+		case *ast.DeferStmt:
+			pruneUses(n.Call)
+			return false
+		case *ast.GoStmt:
+			pruneUses(n.Call)
+			return false
+		}
+		return true
+	})
+	return tracked
+}
+
+// checkErrFlowFunc solves the pending-error dataflow for one function
+// and reports (a) definitions overwritten before any read and (b)
+// definitions still pending at exit. Reports are emitted in a single
+// deterministic replay pass, not during solving.
+func checkErrFlowFunc(pass *Pass, name string, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	tracked := trackedErrVars(info, body)
+	if len(tracked) == 0 {
+		return
+	}
+	a := errAnalysis{info: info, tracked: tracked}
+	g := flow.Build(body, terminatingFor(info))
+	res := flow.Solve[errFact](g, a)
+
+	reported := map[token.Pos]bool{}
+	report := func(pos token.Pos, obj types.Object) {
+		if reported[pos] {
+			return
+		}
+		reported[pos] = true
+		pass.Reportf(pos, "error assigned to %s in %s is dropped on some path without being checked; handle it, return it, or suppress with //vbr:allow errflow",
+			obj.Name(), name)
+	}
+
+	for _, blk := range g.Blocks {
+		f, reachable := res.In[blk]
+		if !reachable {
+			continue
+		}
+		for _, n := range blk.Nodes {
+			_, defs := a.readsAndDefs(n)
+			next := a.Transfer(blk, n, f)
+			for obj := range defs {
+				if pos, pending := f[obj]; pending {
+					// Redefined while still pending: the old value is lost.
+					// A read in the same node (e.g. err = wrap(err)) counts
+					// as a use and is not a drop.
+					if _, stillPending := next[obj]; stillPending || defs[obj] == token.NoPos {
+						if readsObj(a, n, obj) {
+							continue
+						}
+						report(pos, obj)
+					}
+				}
+			}
+			f = next
+		}
+	}
+	if exit, reachable := res.In[g.Exit]; reachable {
+		for obj, pos := range exit {
+			report(pos, obj)
+		}
+	}
+}
+
+// readsObj reports whether node n reads obj (outside nested literals).
+func readsObj(a errAnalysis, n ast.Node, obj types.Object) bool {
+	reads, _ := a.readsAndDefs(n)
+	for _, r := range reads {
+		if r == obj {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,465 @@
+// Package flow is vbrlint's intra-procedural control-flow and
+// dataflow engine: it lowers one function body into basic blocks with
+// branch, loop, switch, and select edges (stdlib go/ast only — no
+// x/tools), records defer registrations as ordinary transfer nodes so
+// analyzers can model them path-sensitively, and runs analyzer-defined
+// lattices to a fixpoint with a generic forward worklist solver. The
+// flow-aware analyzers (lockorder, condguard, goleak, errflow) are
+// built on this engine.
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// A Block is one basic block: a maximal straight-line run of AST nodes
+// (statements, plus the condition/tag expressions that gate its
+// outgoing edges) with no internal control transfer.
+type Block struct {
+	// Index is the block's creation order, stable for tests and
+	// deterministic output.
+	Index int
+	// Nodes are the block's AST nodes in evaluation order. Condition
+	// expressions (if/for conditions, switch tags, case expressions)
+	// appear as bare ast.Expr entries.
+	Nodes []ast.Node
+	// Succs and Preds are the explicit control-flow edges. The
+	// function's synthetic Exit block collects every return path.
+	Succs []*Block
+	Preds []*Block
+}
+
+// A Graph is one function body's control-flow graph. Entry is where
+// execution starts; Exit is a synthetic block reached by falling off
+// the end and by every return statement. Panicking calls terminate
+// their block with no successor: a path that dies cannot violate an
+// all-paths-to-return obligation.
+type Graph struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block // all blocks in creation order, including Exit
+	// Defers lists every defer's call expression in registration
+	// order. Conditionally registered defers also appear as DeferStmt
+	// nodes inside their block, so path-sensitive analyses can track
+	// exactly which registrations dominate which paths.
+	Defers []*ast.CallExpr
+}
+
+// Terminating reports whether a call expression never returns. Build
+// always treats the panic builtin as terminating; the hook adds
+// type-informed cases (os.Exit, log.Fatal*, runtime.Goexit).
+type Terminating func(*ast.CallExpr) bool
+
+// Build lowers body into a Graph. terminating may be nil.
+func Build(body *ast.BlockStmt, terminating Terminating) *Graph {
+	g := &Graph{}
+	b := &builder{g: g, terminating: terminating, labels: map[string]*labelBlocks{}}
+	g.Entry = b.newBlock()
+	g.Exit = b.newBlock()
+	b.cur = g.Entry
+	b.stmtList(body.List)
+	b.edge(b.cur, g.Exit)
+	b.resolveGotos()
+	return g
+}
+
+// labelBlocks is the jump-target record for one label: the block the
+// labeled statement starts in (goto target) and, once the labeled
+// loop/switch/select is built, its break/continue targets.
+type labelBlocks struct {
+	start      *Block
+	breakTo    *Block
+	continueTo *Block
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+// loopFrame is one enclosing breakable/continuable construct.
+type loopFrame struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block // nil for switch/select frames
+}
+
+type builder struct {
+	g           *Graph
+	cur         *Block
+	terminating Terminating
+	frames      []loopFrame
+	labels      map[string]*labelBlocks
+	gotos       []pendingGoto
+	// pendingLabel is the label of a LabeledStmt whose wrapped
+	// loop/switch/select has not been entered yet.
+	pendingLabel string
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+func (b *builder) add(n ast.Node) {
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// deadEnd parks the builder on a fresh unreachable block after a
+// statement that transfers control away (return, break, panic, ...).
+func (b *builder) deadEnd() {
+	b.cur = b.newBlock()
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes the pending label for the construct now being
+// built, so `L: for ...` wires break L/continue L to this loop.
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.LabeledStmt:
+		// Start a fresh block so goto has a well-defined target.
+		start := b.newBlock()
+		b.edge(b.cur, start)
+		b.cur = start
+		b.labels[s.Label.Name] = &labelBlocks{start: start}
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+	case *ast.IfStmt:
+		b.buildIf(s)
+	case *ast.ForStmt:
+		b.buildFor(s)
+	case *ast.RangeStmt:
+		b.buildRange(s)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.buildClauses(s.Body.List, b.takeLabel(), true)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign)
+		b.buildClauses(s.Body.List, b.takeLabel(), false)
+	case *ast.SelectStmt:
+		b.buildSelect(s)
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.g.Exit)
+		b.deadEnd()
+	case *ast.BranchStmt:
+		b.buildBranch(s)
+	case *ast.DeferStmt:
+		b.add(s)
+		b.g.Defers = append(b.g.Defers, s.Call)
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := s.X.(*ast.CallExpr); ok && b.callTerminates(call) {
+			b.deadEnd()
+		}
+	case *ast.EmptyStmt:
+	default:
+		// AssignStmt, DeclStmt, GoStmt, SendStmt, IncDecStmt, ...
+		b.add(s)
+	}
+}
+
+func (b *builder) callTerminates(call *ast.CallExpr) bool {
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+		return true
+	}
+	return b.terminating != nil && b.terminating(call)
+}
+
+func (b *builder) buildIf(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.add(s.Cond)
+	cond := b.cur
+
+	then := b.newBlock()
+	b.edge(cond, then)
+	b.cur = then
+	b.stmtList(s.Body.List)
+	thenEnd := b.cur
+
+	var elseEnd *Block
+	if s.Else != nil {
+		els := b.newBlock()
+		b.edge(cond, els)
+		b.cur = els
+		b.stmt(s.Else)
+		elseEnd = b.cur
+	}
+
+	join := b.newBlock()
+	b.edge(thenEnd, join)
+	if elseEnd != nil {
+		b.edge(elseEnd, join)
+	} else {
+		b.edge(cond, join)
+	}
+	b.cur = join
+}
+
+func (b *builder) buildFor(s *ast.ForStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.newBlock()
+	b.edge(b.cur, head)
+	b.cur = head
+	if s.Cond != nil {
+		b.add(s.Cond)
+	}
+
+	exit := b.newBlock()
+	if s.Cond != nil {
+		b.edge(head, exit) // condition false
+	}
+	continueTo := head
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock()
+		continueTo = post
+	}
+	if lb := b.labels[label]; lb != nil {
+		lb.breakTo, lb.continueTo = exit, continueTo
+	}
+	b.frames = append(b.frames, loopFrame{label: label, breakTo: exit, continueTo: continueTo})
+
+	body := b.newBlock()
+	b.edge(head, body)
+	b.cur = body
+	b.stmtList(s.Body.List)
+	if post != nil {
+		b.edge(b.cur, post)
+		b.cur = post
+		b.stmt(s.Post)
+	}
+	b.edge(b.cur, head)
+
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = exit
+}
+
+func (b *builder) buildRange(s *ast.RangeStmt) {
+	label := b.takeLabel()
+	b.add(s.X)
+	head := b.newBlock()
+	b.edge(b.cur, head)
+	// The RangeStmt node carries the per-iteration key/value bindings.
+	head.Nodes = append(head.Nodes, s)
+
+	exit := b.newBlock()
+	b.edge(head, exit) // range exhausted
+	if lb := b.labels[label]; lb != nil {
+		lb.breakTo, lb.continueTo = exit, head
+	}
+	b.frames = append(b.frames, loopFrame{label: label, breakTo: exit, continueTo: head})
+
+	body := b.newBlock()
+	b.edge(head, body)
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.edge(b.cur, head)
+
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = exit
+}
+
+// buildClauses wires a (type) switch: every clause block hangs off the
+// block holding the tag, fallthrough chains to the next clause's body,
+// and a missing default adds the skip edge straight to the join.
+func (b *builder) buildClauses(clauses []ast.Stmt, label string, allowFallthrough bool) {
+	head := b.cur
+	exit := b.newBlock()
+	if lb := b.labels[label]; lb != nil {
+		lb.breakTo = exit
+	}
+	b.frames = append(b.frames, loopFrame{label: label, breakTo: exit})
+
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, c := range clauses {
+		blocks[i] = b.newBlock()
+		b.edge(head, blocks[i])
+		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(head, exit)
+	}
+	for i, c := range clauses {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		b.cur = blocks[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		body := cc.Body
+		fallsThrough := false
+		if allowFallthrough && len(body) > 0 {
+			if br, ok := body[len(body)-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				body = body[:len(body)-1]
+				fallsThrough = true
+			}
+		}
+		b.stmtList(body)
+		if fallsThrough && i+1 < len(blocks) {
+			b.edge(b.cur, blocks[i+1])
+		} else {
+			b.edge(b.cur, exit)
+		}
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = exit
+}
+
+func (b *builder) buildSelect(s *ast.SelectStmt) {
+	label := b.takeLabel()
+	head := b.cur
+	exit := b.newBlock()
+	if lb := b.labels[label]; lb != nil {
+		lb.breakTo = exit
+	}
+	b.frames = append(b.frames, loopFrame{label: label, breakTo: exit})
+	// No clause-skipping edge: a select without a default blocks until
+	// some clause fires, and `select {}` blocks forever (exit stays
+	// unreachable, which is exactly what goleak wants to see).
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		blk := b.newBlock()
+		b.edge(head, blk)
+		b.cur = blk
+		if cc.Comm != nil {
+			b.add(cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		b.edge(b.cur, exit)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = exit
+}
+
+func (b *builder) buildBranch(s *ast.BranchStmt) {
+	switch s.Tok {
+	case token.BREAK:
+		if to := b.findBreak(labelOf(s)); to != nil {
+			b.edge(b.cur, to)
+		}
+		b.deadEnd()
+	case token.CONTINUE:
+		if to := b.findContinue(labelOf(s)); to != nil {
+			b.edge(b.cur, to)
+		}
+		b.deadEnd()
+	case token.GOTO:
+		b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: labelOf(s)})
+		b.deadEnd()
+	case token.FALLTHROUGH:
+		// Reached only for a fallthrough that is not the clause's last
+		// statement (illegal Go); ignore.
+	}
+}
+
+func labelOf(s *ast.BranchStmt) string {
+	if s.Label != nil {
+		return s.Label.Name
+	}
+	return ""
+}
+
+func (b *builder) findBreak(label string) *Block {
+	if label != "" {
+		if lb := b.labels[label]; lb != nil {
+			return lb.breakTo
+		}
+		return nil
+	}
+	if len(b.frames) == 0 {
+		return nil
+	}
+	return b.frames[len(b.frames)-1].breakTo
+}
+
+func (b *builder) findContinue(label string) *Block {
+	if label != "" {
+		if lb := b.labels[label]; lb != nil {
+			return lb.continueTo
+		}
+		return nil
+	}
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		if b.frames[i].continueTo != nil {
+			return b.frames[i].continueTo
+		}
+	}
+	return nil
+}
+
+// resolveGotos wires each goto to its label's start block. Forward
+// gotos resolve here because every label was recorded during the walk;
+// a goto to a label the parser accepted but the walk never saw (broken
+// input) conservatively falls through to Exit.
+func (b *builder) resolveGotos() {
+	for _, g := range b.gotos {
+		if lb := b.labels[g.label]; lb != nil && lb.start != nil {
+			b.edge(g.from, lb.start)
+		} else {
+			b.edge(g.from, b.g.Exit)
+		}
+	}
+}
+
+// ReachableFromEntry returns the set of blocks reachable from Entry —
+// the liveness question goleak asks of a goroutine body ("can this
+// function ever return?") is Exit's membership in this set.
+func (g *Graph) ReachableFromEntry() map[*Block]bool {
+	seen := map[*Block]bool{g.Entry: true}
+	work := []*Block{g.Entry}
+	for len(work) > 0 {
+		blk := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range blk.Succs {
+			if !seen[s] {
+				seen[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return seen
+}

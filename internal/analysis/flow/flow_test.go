@@ -1,0 +1,257 @@
+package flow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func parseBody(t *testing.T, body string) *ast.BlockStmt {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse %q: %v", body, err)
+	}
+	return file.Decls[0].(*ast.FuncDecl).Body
+}
+
+// exitNow stands in for os.Exit in these type-free tests: the
+// Terminating hook matches it by name.
+func testTerminating(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "exitNow"
+}
+
+// TestBuildShapes is the table-driven CFG-construction test: for each
+// statement shape, the properties an analyzer depends on — can the
+// function return, how many blocks the lowering produces, how many
+// defers are registered.
+func TestBuildShapes(t *testing.T) {
+	cases := []struct {
+		name          string
+		body          string
+		exitReachable bool
+		defers        int
+	}{
+		{"straight line", "x := 1\n_ = x", true, 0},
+		{"if without else", "if c() {\n\twork()\n}\nwork()", true, 0},
+		{"if else join", "if c() {\n\twork()\n} else {\n\trest()\n}\nwork()", true, 0},
+		{"if both branches return", "if c() {\n\treturn\n} else {\n\treturn\n}", true, 0},
+		{"infinite for", "for {\n\twork()\n}", false, 0},
+		{"for with condition", "for c() {\n\twork()\n}", true, 0},
+		{"infinite for with break", "for {\n\tif c() {\n\t\tbreak\n\t}\n}", true, 0},
+		{"labeled break from inner loop", "L:\nfor {\n\tfor {\n\t\tbreak L\n\t}\n}", true, 0},
+		{"continue only", "for c() {\n\tcontinue\n}", true, 0},
+		{"range loop", "for i := range xs() {\n\t_ = i\n}", true, 0},
+		{"empty select", "select {}", false, 0},
+		{"select with arm", "select {\ncase <-ch():\n\twork()\n}", true, 0},
+		{"switch no default", "switch c() {\ncase true:\n\twork()\n}", true, 0},
+		{"switch all cases return with default", "switch {\ncase c():\n\treturn\ndefault:\n\treturn\n}", true, 0},
+		{"fallthrough chain", "switch {\ncase c():\n\twork()\n\tfallthrough\ndefault:\n\trest()\n}", true, 0},
+		{"type switch", "switch v().(type) {\ncase int:\n\twork()\n}", true, 0},
+		{"plain defer", "defer work()\nrest()", true, 1},
+		{"conditional defer", "if c() {\n\tdefer work()\n}\ndefer rest()", true, 2},
+		{"panic terminates", "panic(1)", false, 0},
+		{"terminating hook", "exitNow()", false, 0},
+		{"panic on one branch", "if c() {\n\tpanic(1)\n}\nwork()", true, 0},
+		{"backward goto spin", "L:\nwork()\ngoto L", false, 0},
+		{"forward goto", "goto L\nwork()\nL:\nrest()", true, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			g := Build(parseBody(t, c.body), testTerminating)
+			if got := g.ReachableFromEntry()[g.Exit]; got != c.exitReachable {
+				t.Errorf("exit reachable = %v, want %v", got, c.exitReachable)
+			}
+			if len(g.Defers) != c.defers {
+				t.Errorf("defers = %d, want %d", len(g.Defers), c.defers)
+			}
+		})
+	}
+}
+
+// TestBuildEdges pins the precise edge structure of an if/else: one
+// condition block branching to two bodies that re-join.
+func TestBuildEdges(t *testing.T) {
+	g := Build(parseBody(t, "if c() {\n\twork()\n} else {\n\trest()\n}\nwork()"), nil)
+	var cond *Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "c" {
+					cond = b
+				}
+			}
+		}
+	}
+	if cond == nil {
+		t.Fatal("condition block not found")
+	}
+	if len(cond.Succs) != 2 {
+		t.Fatalf("condition block has %d successors, want 2 (then, else)", len(cond.Succs))
+	}
+	join1, join2 := cond.Succs[0].Succs, cond.Succs[1].Succs
+	if len(join1) != 1 || len(join2) != 1 || join1[0] != join2[0] {
+		t.Errorf("then/else do not re-join in a single block: %v vs %v", join1, join2)
+	}
+	for _, p := range join1[0].Preds {
+		if p == cond {
+			t.Errorf("condition block must not be a direct predecessor of the join when an else exists")
+		}
+	}
+}
+
+// writesAnalysis is a tiny solver client independent of any real
+// analyzer: the fact is the set of variable names assigned so far
+// (comma-joined, sorted — a canonical string keeps Equal trivial).
+type writesAnalysis struct{}
+
+func (writesAnalysis) Entry() string { return "" }
+
+func (writesAnalysis) Transfer(_ *Block, n ast.Node, f string) string {
+	asg, ok := n.(*ast.AssignStmt)
+	if !ok {
+		return f
+	}
+	set := map[string]bool{}
+	for _, name := range strings.Split(f, ",") {
+		if name != "" {
+			set[name] = true
+		}
+	}
+	for _, lhs := range asg.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok {
+			set[id.Name] = true
+		}
+	}
+	names := make([]string, 0, len(set))
+	for name := range set {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ",")
+}
+
+func (writesAnalysis) Join(x, y string) string { return joinSets(x, y) }
+
+func joinSets(x, y string) string {
+	if x == "" {
+		return y
+	}
+	if y == "" {
+		return x
+	}
+	set := map[string]bool{}
+	for _, s := range strings.Split(x+","+y, ",") {
+		set[s] = true
+	}
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ",")
+}
+
+func (writesAnalysis) Equal(x, y string) bool { return x == y }
+
+// TestSolveConvergence runs the writes analysis over a loop with a
+// back edge: the fixpoint at the loop head must include writes from
+// inside the loop body (i.e. the solver iterated the cycle), and the
+// exit fact must be the union over all paths.
+func TestSolveConvergence(t *testing.T) {
+	body := parseBody(t, `
+a := 1
+for c() {
+	b := 2
+	if d() {
+		e := 3
+		_ = e
+	}
+	_ = b
+}
+f := 4
+_ = f
+_ = a`)
+	g := Build(body, nil)
+	res := Solve[string](g, writesAnalysis{})
+	exit, ok := res.In[g.Exit]
+	if !ok {
+		t.Fatal("exit unreachable in a terminating function")
+	}
+	for _, name := range []string{"a", "b", "e", "f", "_"} {
+		if !strings.Contains(","+exit+",", ","+name+",") {
+			t.Errorf("exit fact %q missing write of %q", exit, name)
+		}
+	}
+	// The loop-head fact must include body writes via the back edge.
+	var head *Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "c" {
+					head = b
+				}
+			}
+		}
+	}
+	if head == nil {
+		t.Fatal("loop head not found")
+	}
+	if in := res.In[head]; !strings.Contains(","+in+",", ",b,") {
+		t.Errorf("loop head in-fact %q lacks body write %q: back edge not iterated", in, "b")
+	}
+}
+
+// TestSolveUnreachable: blocks dead code cannot reach get no facts.
+func TestSolveUnreachable(t *testing.T) {
+	g := Build(parseBody(t, "return\nx := 1\n_ = x"), nil)
+	res := Solve[string](g, writesAnalysis{})
+	for _, b := range g.Blocks {
+		if b == g.Entry || b == g.Exit {
+			continue
+		}
+		if _, ok := res.In[b]; ok && !g.ReachableFromEntry()[b] {
+			t.Errorf("unreachable block %d received a fact", b.Index)
+		}
+	}
+	if exit := res.In[g.Exit]; exit != "" {
+		t.Errorf("exit fact = %q, want empty (the only return precedes every write)", exit)
+	}
+}
+
+// TestFactAt replays transfers inside one block: the fact immediately
+// before a chosen statement reflects exactly the writes above it.
+func TestFactAt(t *testing.T) {
+	body := parseBody(t, "a := 1\nb := 2\nsink()\nc := 3\n_, _, _ = a, b, c")
+	g := Build(body, nil)
+	res := Solve[string](g, writesAnalysis{})
+	var blk *Block
+	var stopNode ast.Node
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "sink" {
+						blk, stopNode = b, n
+					}
+				}
+			}
+		}
+	}
+	if blk == nil {
+		t.Fatal("sink statement not found")
+	}
+	f, ok := FactAt[string](res, writesAnalysis{}, blk, func(n ast.Node) bool { return n == stopNode })
+	if !ok {
+		t.Fatal("FactAt: block unreachable or node missing")
+	}
+	if f != "a,b" {
+		t.Errorf("fact before sink() = %q, want %q (a and b written, c not yet)", f, "a,b")
+	}
+}

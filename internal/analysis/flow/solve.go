@@ -1,0 +1,105 @@
+package flow
+
+import "go/ast"
+
+// An Analysis is one forward dataflow problem over a Graph. F is the
+// analyzer's fact (lattice element). Facts must be treated as
+// immutable: Transfer and Join return new values rather than mutating
+// their arguments, so one fact can safely flow into several blocks.
+// The lattice must have finite height (every analyzer here bounds its
+// sets by the function's syntax), which with a monotone Transfer
+// guarantees the worklist terminates.
+type Analysis[F any] interface {
+	// Entry is the boundary fact at function entry.
+	Entry() F
+	// Transfer applies one AST node's effect to the incoming fact.
+	Transfer(b *Block, n ast.Node, f F) F
+	// Join merges facts where control-flow paths meet.
+	Join(a, b F) F
+	// Equal reports lattice equality; the solver stops re-propagating
+	// a block whose out-fact did not change.
+	Equal(a, b F) bool
+}
+
+// A Result holds the fixpoint: the fact entering and leaving every
+// reachable block. In[g.Exit] is the all-return-paths join — the fact
+// "at function exit" that obligation-style analyzers check.
+type Result[F any] struct {
+	In  map[*Block]F
+	Out map[*Block]F
+}
+
+// Solve runs a forward worklist iteration to fixpoint. Unreachable
+// blocks (dead code after return/panic) never receive facts and are
+// absent from the result maps.
+func Solve[F any](g *Graph, a Analysis[F]) *Result[F] {
+	res := &Result[F]{In: map[*Block]F{}, Out: map[*Block]F{}}
+	solved := map[*Block]bool{}
+	queued := map[*Block]bool{g.Entry: true}
+	work := []*Block{g.Entry}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk] = false
+
+		var in F
+		have := false
+		if blk == g.Entry {
+			in = a.Entry()
+			have = true
+		}
+		for _, p := range blk.Preds {
+			if !solved[p] {
+				continue
+			}
+			if !have {
+				in = res.Out[p]
+				have = true
+			} else {
+				in = a.Join(in, res.Out[p])
+			}
+		}
+		if !have {
+			// Every predecessor is still unsolved (and this is not the
+			// entry): a later solve of some pred re-queues this block.
+			continue
+		}
+		res.In[blk] = in
+
+		out := in
+		for _, n := range blk.Nodes {
+			out = a.Transfer(blk, n, out)
+		}
+		if solved[blk] && a.Equal(res.Out[blk], out) {
+			continue
+		}
+		solved[blk] = true
+		res.Out[blk] = out
+		for _, s := range blk.Succs {
+			if !queued[s] {
+				queued[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return res
+}
+
+// FactAt replays blk's transfers from its in-fact up to (but not
+// including) the node satisfying stop — the fact holding immediately
+// before that node executes. ok is false when blk was unreachable or
+// no node matched.
+func FactAt[F any](res *Result[F], a Analysis[F], blk *Block, stop func(ast.Node) bool) (f F, ok bool) {
+	in, reachable := res.In[blk]
+	if !reachable {
+		return f, false
+	}
+	cur := in
+	for _, n := range blk.Nodes {
+		if stop(n) {
+			return cur, true
+		}
+		cur = a.Transfer(blk, n, cur)
+	}
+	return f, false
+}

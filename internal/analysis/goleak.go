@@ -1,0 +1,226 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+
+	"vbmo/internal/analysis/flow"
+)
+
+var GoLeakAnalyzer = &Analyzer{
+	Name: "goleak",
+	Doc: "goroutine lifetime in the concurrent packages: every go statement's " +
+		"body must have a reachable exit path (a loop that can stop via flag, " +
+		"channel close, or return), and every time.AfterFunc timer must be " +
+		"captured and stopped somewhere",
+	Run: runGoLeak,
+}
+
+// goleakPackages mirrors lockorder's scope: the packages allowed to
+// spawn goroutines.
+var goleakPackages = []string{"internal/farm", "internal/par"}
+
+func runGoLeak(pass *Pass) {
+	if !pathInTree(pass.Pkg.Path, goleakPackages) {
+		return
+	}
+	stopped := stoppedTimerNames(pass.Pkg)
+
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				checkGoStmt(pass, n)
+			case *ast.CallExpr:
+				checkAfterFunc(pass, file, n, stopped)
+			}
+			return true
+		})
+	}
+}
+
+// checkGoStmt requires the spawned function's exit block to be
+// reachable from its entry: a goroutine whose body is an
+// unconditional infinite loop can never stop, which on the farm
+// means a leaked worker per request.
+func checkGoStmt(pass *Pass, g *ast.GoStmt) {
+	body := goBody(pass.Pkg, g.Call)
+	if body == nil {
+		return // callee not in this package; out of intra-procedural reach
+	}
+	cfg := flow.Build(body, terminatingFor(pass.Pkg.Info))
+	if !cfg.ReachableFromEntry()[cfg.Exit] {
+		pass.Reportf(g.Pos(), "goroutine started here can never exit: no path from its loop reaches a return; add a stop flag, context, or closed-channel check")
+	}
+}
+
+// goBody resolves the body of the function a go statement spawns:
+// either a literal, or a function/method declared in the same package.
+func goBody(pkg *Package, call *ast.CallExpr) *ast.BlockStmt {
+	switch fun := call.Fun.(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		return declBodyOf(pkg, pkg.Info.Uses[fun])
+	case *ast.SelectorExpr:
+		return declBodyOf(pkg, pkg.Info.Uses[fun.Sel])
+	}
+	return nil
+}
+
+// declBodyOf finds the FuncDecl body for obj among the package's files.
+func declBodyOf(pkg *Package, obj types.Object) *ast.BlockStmt {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			d, ok := decl.(*ast.FuncDecl)
+			if !ok || d.Body == nil {
+				continue
+			}
+			if pkg.Info.Defs[d.Name] == fn {
+				return d.Body
+			}
+		}
+	}
+	return nil
+}
+
+// checkAfterFunc requires the *time.Timer returned by time.AfterFunc
+// to be captured and eventually stopped: a discarded timer (or a
+// captured one nobody ever Stops) re-fires or pins its callback, the
+// exact leak class of the lease sweeper and worker heartbeat.
+func checkAfterFunc(pass *Pass, file *ast.File, call *ast.CallExpr, stopped map[string]bool) {
+	if !isAfterFunc(pass.Pkg.Info, call) {
+		return
+	}
+	target, ok := afterFuncTarget(file, call)
+	if !ok {
+		pass.Reportf(call.Pos(), "time.AfterFunc result is discarded; nothing can ever Stop this timer — capture the *time.Timer and stop it on shutdown")
+		return
+	}
+	if !stopped[lastComponent(exprString(target))] {
+		pass.Reportf(call.Pos(), "the *time.Timer stored in %s is never stopped anywhere in this package; stop it on shutdown or the callback can fire after close",
+			exprString(target))
+	}
+}
+
+func isAfterFunc(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "AfterFunc"
+}
+
+// afterFuncTarget finds the expression the AfterFunc result is
+// assigned to. A blank identifier or a bare expression statement is a
+// discard (ok=false).
+func afterFuncTarget(file *ast.File, call *ast.CallExpr) (ast.Expr, bool) {
+	var target ast.Expr
+	found := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if rhs == call && i < len(n.Lhs) {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						return false
+					}
+					target = n.Lhs[i]
+					found = true
+					return false
+				}
+			}
+		case *ast.ValueSpec:
+			for i, v := range n.Values {
+				if v == call && i < len(n.Names) {
+					if n.Names[i].Name == "_" {
+						return false
+					}
+					target = n.Names[i]
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return target, found
+}
+
+// stoppedTimerNames collects, package-wide, the base names on which a
+// (*time.Timer).Stop or Reset is called — directly (t.Stop, s.sweeper.Stop)
+// or through a one-level local alias (t := s.sweeper; t.Stop()), the
+// idiom the farm uses to stop a timer outside its mutex.
+func stoppedTimerNames(pkg *Package) map[string]bool {
+	stopped := map[string]bool{}
+	aliases := map[string][]string{} // local base name -> source base names
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			asg, ok := n.(*ast.AssignStmt)
+			if !ok || len(asg.Lhs) != len(asg.Rhs) {
+				return true
+			}
+			for i := range asg.Lhs {
+				id, ok := asg.Lhs[i].(*ast.Ident)
+				if !ok || !isTimerExpr(pkg.Info, asg.Rhs[i]) {
+					continue
+				}
+				switch asg.Rhs[i].(type) {
+				case *ast.Ident, *ast.SelectorExpr:
+					src := lastComponent(exprString(asg.Rhs[i]))
+					aliases[id.Name] = append(aliases[id.Name], src)
+				}
+			}
+			return true
+		})
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			if fn.Name() != "Stop" && fn.Name() != "Reset" {
+				return true
+			}
+			base := lastComponent(exprString(sel.X))
+			stopped[base] = true
+			for _, src := range aliases[base] {
+				stopped[src] = true
+			}
+			return true
+		})
+	}
+	return stopped
+}
+
+// isTimerExpr reports whether e has type *time.Timer.
+func isTimerExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok {
+		return false
+	}
+	p, ok := tv.Type.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "Timer" && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "time"
+}

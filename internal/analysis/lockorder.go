@@ -1,0 +1,545 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"vbmo/internal/analysis/flow"
+)
+
+var LockOrderAnalyzer = &Analyzer{
+	Name: "lockorder",
+	Doc: "sync.Mutex/RWMutex discipline in the concurrent packages: every Lock " +
+		"reaches an Unlock (or defer Unlock) on all paths to return, no relock of a " +
+		"held mutex (self-deadlock), and nested acquisition follows the package's " +
+		"declared //vbr:lockorder total order",
+	Run: runLockOrder,
+}
+
+// lockPackages are the packages with real concurrency: the farm
+// service (server, pool, leases, workers) and the shared
+// parallel-sweep helpers. The determinism analyzer keeps goroutines
+// out of the simulator core, so mutex discipline is a farm/par
+// obligation.
+var lockPackages = []string{"internal/farm", "internal/par"}
+
+// pathInTree reports whether pkgPath is one of the roots or below one
+// (suffix-based, like pathMatches, so fixture module paths match too).
+func pathInTree(pkgPath string, roots []string) bool {
+	for _, r := range roots {
+		if pkgPath == r || strings.HasSuffix(pkgPath, "/"+r) ||
+			strings.Contains(pkgPath, "/"+r+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+const lockOrderPrefix = "//vbr:lockorder"
+
+// parseLockOrder reads the package's declared acquisition order:
+//
+//	//vbr:lockorder mu leaseMu hbMu
+//
+// names are mutex field/variable base names in the order they may be
+// acquired (a lock may only be taken while holding locks that appear
+// strictly earlier). Returns nil when the package declares no order.
+func parseLockOrder(pkg *Package) map[string]int {
+	var rank map[string]int
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				rest, ok := strings.CutPrefix(text, lockOrderPrefix)
+				if !ok || (rest != "" && !strings.HasPrefix(rest, " ")) {
+					continue
+				}
+				if rank == nil {
+					rank = map[string]int{}
+				}
+				for _, name := range strings.Fields(rest) {
+					if _, seen := rank[name]; !seen {
+						rank[name] = len(rank)
+					}
+				}
+			}
+		}
+	}
+	return rank
+}
+
+// mutexOp is one sync.Mutex/sync.RWMutex method call. tok identifies
+// the lock: the receiver's printed expression, with "[r]" appended for
+// the read side of an RWMutex (the two sides deadlock differently).
+type mutexOp struct {
+	tok  string
+	base string // last selector component, the //vbr:lockorder name
+	name string // Lock, Unlock, RLock, RUnlock
+	pos  token.Pos
+}
+
+var mutexMethods = map[string]bool{
+	"Lock": true, "Unlock": true, "RLock": true, "RUnlock": true,
+}
+
+// mutexOpOf recognizes a mutex method call, including calls through an
+// embedded mutex (the method object still belongs to package sync).
+func mutexOpOf(info *types.Info, call *ast.CallExpr) *mutexOp {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" || !mutexMethods[fn.Name()] {
+		return nil
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return nil
+	}
+	rt := recv.Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok || (named.Obj().Name() != "Mutex" && named.Obj().Name() != "RWMutex") {
+		return nil
+	}
+	expr := exprString(sel.X)
+	op := &mutexOp{tok: expr, base: lastComponent(expr), name: fn.Name(), pos: call.Pos()}
+	if fn.Name() == "RLock" || fn.Name() == "RUnlock" {
+		op.tok += "[r]"
+	}
+	return op
+}
+
+func lastComponent(expr string) string {
+	if i := strings.LastIndexByte(expr, '.'); i >= 0 {
+		return expr[i+1:]
+	}
+	return expr
+}
+
+// lockFact is the lock-state lattice element. For each lock token it
+// tracks the acquisition sites that may be held here with no release
+// scheduled yet (held), the sites whose release a defer has already
+// scheduled (cov — "covered"), and whether the token is definitely
+// held on every path (must). held and cov join by union (a leak on
+// any path is a leak) and must by intersection. Keeping coverage
+// per-acquisition rather than as a path-insensitive flag matters:
+// a function with an early return before mu.Lock() must not let that
+// lock-free path launder the locked path's missing release — and
+// conversely a defer mu.Unlock() must not count for a path that
+// never reaches it. Facts are immutable; transfers copy on write.
+type lockFact struct {
+	held map[string]map[token.Pos]bool
+	cov  map[string]map[token.Pos]bool
+	must map[string]bool
+}
+
+func clonePosSets(m map[string]map[token.Pos]bool) map[string]map[token.Pos]bool {
+	out := make(map[string]map[token.Pos]bool, len(m))
+	for k, v := range m {
+		set := make(map[token.Pos]bool, len(v))
+		for p := range v {
+			set[p] = true
+		}
+		out[k] = set
+	}
+	return out
+}
+
+func (f lockFact) clone() lockFact {
+	g := lockFact{
+		held: clonePosSets(f.held),
+		cov:  clonePosSets(f.cov),
+		must: make(map[string]bool, len(f.must)),
+	}
+	for k := range f.must {
+		g.must[k] = true
+	}
+	return g
+}
+
+// mayHeld reports whether any acquisition of tok may be live here,
+// scheduled for release or not.
+func (f lockFact) mayHeld(tok string) bool {
+	return len(f.held[tok]) > 0 || len(f.cov[tok]) > 0
+}
+
+// lockAnalysis is the flow.Analysis over lockFact. It carries no
+// reporting: solving runs transfers repeatedly until fixpoint, so
+// diagnostics are emitted by a separate single replay pass.
+type lockAnalysis struct {
+	info *types.Info
+}
+
+func (lockAnalysis) Entry() lockFact {
+	return lockFact{
+		held: map[string]map[token.Pos]bool{},
+		cov:  map[string]map[token.Pos]bool{},
+		must: map[string]bool{},
+	}
+}
+
+// mutexOpsIn lists the mutex calls inside one CFG node in source
+// order, skipping nested function literals (a closure's body runs on
+// its own schedule and is analyzed as its own function).
+func mutexOpsIn(info *types.Info, n ast.Node) []*mutexOp {
+	var ops []*mutexOp
+	skipRoot := n
+	var skipBody ast.Node // a RangeStmt head node carries its body blocks separately
+	if r, ok := n.(*ast.RangeStmt); ok {
+		skipBody = r.Body
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == skipBody {
+			return false
+		}
+		if _, ok := m.(*ast.FuncLit); ok && m != skipRoot {
+			return false
+		}
+		if call, ok := m.(*ast.CallExpr); ok {
+			if op := mutexOpOf(info, call); op != nil {
+				ops = append(ops, op)
+			}
+		}
+		return true
+	})
+	return ops
+}
+
+func (a lockAnalysis) Transfer(_ *flow.Block, n ast.Node, f lockFact) lockFact {
+	deferred := false
+	if d, ok := n.(*ast.DeferStmt); ok {
+		deferred = true
+		n = d.Call
+	}
+	ops := mutexOpsIn(a.info, n)
+	if len(ops) == 0 {
+		return f
+	}
+	g := f.clone()
+	for _, op := range ops {
+		switch op.name {
+		case "Lock", "RLock":
+			if deferred {
+				continue // defer mu.Lock() — pathological; not modeled
+			}
+			if g.held[op.tok] == nil {
+				g.held[op.tok] = map[token.Pos]bool{}
+			}
+			g.held[op.tok][op.pos] = true
+			g.must[op.tok] = true
+		case "Unlock", "RUnlock":
+			if deferred {
+				// The release is scheduled for return: every acquisition
+				// live on this path is covered from here on (the token
+				// stays must-held until the function actually returns).
+				if len(g.held[op.tok]) > 0 {
+					if g.cov[op.tok] == nil {
+						g.cov[op.tok] = map[token.Pos]bool{}
+					}
+					for p := range g.held[op.tok] {
+						g.cov[op.tok][p] = true
+					}
+					delete(g.held, op.tok)
+				}
+				continue
+			}
+			delete(g.held, op.tok)
+			delete(g.cov, op.tok)
+			delete(g.must, op.tok)
+		}
+	}
+	return g
+}
+
+func unionPosSets(a, b map[string]map[token.Pos]bool) map[string]map[token.Pos]bool {
+	j := clonePosSets(a)
+	for tok, set := range b {
+		m := j[tok]
+		if m == nil {
+			m = map[token.Pos]bool{}
+			j[tok] = m
+		}
+		for p := range set {
+			m[p] = true
+		}
+	}
+	return j
+}
+
+func equalPosSets(a, b map[string]map[token.Pos]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for tok, set := range a {
+		other, ok := b[tok]
+		if !ok || len(other) != len(set) {
+			return false
+		}
+		for p := range set {
+			if !other[p] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (lockAnalysis) Join(a, b lockFact) lockFact {
+	j := lockFact{
+		held: unionPosSets(a.held, b.held),
+		cov:  unionPosSets(a.cov, b.cov),
+		must: map[string]bool{},
+	}
+	for tok := range a.must {
+		if b.must[tok] {
+			j.must[tok] = true
+		}
+	}
+	return j
+}
+
+func (lockAnalysis) Equal(a, b lockFact) bool {
+	if len(a.must) != len(b.must) {
+		return false
+	}
+	for tok := range a.must {
+		if !b.must[tok] {
+			return false
+		}
+	}
+	return equalPosSets(a.held, b.held) && equalPosSets(a.cov, b.cov)
+}
+
+// terminatingFor recognizes the calls that never return, so the CFG
+// does not route impossible fall-through paths (and a panicking path
+// is not asked to release its locks — the process is gone).
+func terminatingFor(info *types.Info) flow.Terminating {
+	return func(call *ast.CallExpr) bool {
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		obj := info.Uses[sel.Sel]
+		if obj == nil || obj.Pkg() == nil {
+			return false
+		}
+		switch obj.Pkg().Path() {
+		case "os":
+			return obj.Name() == "Exit"
+		case "runtime":
+			return obj.Name() == "Goexit"
+		case "log":
+			return strings.HasPrefix(obj.Name(), "Fatal") || strings.HasPrefix(obj.Name(), "Panic")
+		}
+		return false
+	}
+}
+
+// funcBodies yields every analyzable function body in the file:
+// declarations first, then each function literal as its own unit (a
+// closure's lock state starts empty — it runs on its own schedule).
+func funcBodies(file *ast.File, visit func(name string, body *ast.BlockStmt)) {
+	var walk func(name string, body *ast.BlockStmt)
+	walk = func(name string, body *ast.BlockStmt) {
+		visit(name, body)
+		ast.Inspect(body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				walk(name+" (func literal)", lit.Body)
+				return false
+			}
+			return true
+		})
+	}
+	for _, decl := range file.Decls {
+		if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+			walk(fn.Name.Name, fn.Body)
+		}
+	}
+}
+
+// solveLocks builds the CFG for body and runs the lock dataflow.
+func solveLocks(info *types.Info, body *ast.BlockStmt) (*flow.Graph, *flow.Result[lockFact], lockAnalysis) {
+	a := lockAnalysis{info: info}
+	g := flow.Build(body, terminatingFor(info))
+	return g, flow.Solve[lockFact](g, a), a
+}
+
+// hasMutexOps is the cheap pre-scan that lets clean functions skip CFG
+// construction entirely.
+func hasMutexOps(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && mutexOpOf(info, call) != nil {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+func runLockOrder(pass *Pass) {
+	if !pathInTree(pass.Pkg.Path, lockPackages) {
+		return
+	}
+	info := pass.Pkg.Info
+	rank := parseLockOrder(pass.Pkg)
+	missingOrderReported := rank != nil // only one missing-directive report per package
+
+	for _, file := range pass.Pkg.Files {
+		funcBodies(file, func(name string, body *ast.BlockStmt) {
+			if !hasMutexOps(info, body) {
+				return
+			}
+			if !missingOrderReported {
+				missingOrderReported = true
+				pass.Reportf(body.Pos(), "package acquires mutexes but declares no acquisition order; add a \"//vbr:lockorder <name>...\" directive listing its locks in acquisition order")
+			}
+			checkLockFunc(pass, rank, name, body)
+		})
+	}
+}
+
+// checkLockFunc solves the lock dataflow for one function, then
+// replays each reachable block exactly once to emit diagnostics (the
+// solver may run a transfer many times on its way to fixpoint, so
+// reporting happens only in this deterministic second pass).
+func checkLockFunc(pass *Pass, rank map[string]int, name string, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	g, res, a := solveLocks(info, body)
+
+	reported := map[token.Pos]bool{}
+	for _, blk := range g.Blocks {
+		f, reachable := res.In[blk]
+		if !reachable {
+			continue
+		}
+		for _, n := range blk.Nodes {
+			deferred := false
+			node := n
+			if d, ok := node.(*ast.DeferStmt); ok {
+				deferred = true
+				node = d.Call
+			}
+			for _, op := range mutexOpsIn(info, node) {
+				switch op.name {
+				case "Lock", "RLock":
+					if deferred {
+						continue
+					}
+					checkAcquire(pass, rank, name, f, op, reported)
+				case "Unlock", "RUnlock":
+					if deferred {
+						continue
+					}
+					if !f.mayHeld(op.tok) && !reported[op.pos] {
+						reported[op.pos] = true
+						pass.Reportf(op.pos, "%s.%s in %s, but no path through this function holds %s here (double unlock, or a lock owned by the caller — document with //vbr:allow)",
+							op.tok, op.name, name, op.tok)
+					}
+				}
+			}
+			f = a.Transfer(blk, n, f)
+		}
+	}
+
+	// All-paths release: an acquisition that reaches exit on some path
+	// still "held" (never unlocked, and no defer covering it on that
+	// path) leaks. Covered acquisitions are fine — their defer fires at
+	// the return this fact describes.
+	exit, reachable := res.In[g.Exit]
+	if !reachable {
+		return // every path panics or never returns
+	}
+	toks := make([]string, 0, len(exit.held))
+	for tok := range exit.held {
+		toks = append(toks, tok)
+	}
+	sort.Strings(toks)
+	for _, tok := range toks {
+		positions := make([]token.Pos, 0, len(exit.held[tok]))
+		for p := range exit.held[tok] {
+			positions = append(positions, p)
+		}
+		sort.Slice(positions, func(i, j int) bool { return positions[i] < positions[j] })
+		for _, p := range positions {
+			if reported[p] {
+				continue
+			}
+			reported[p] = true
+			pass.Reportf(p, "%s locked in %s may still be held at return on some path; release it on every path or defer the unlock", tok, name)
+		}
+	}
+}
+
+// checkAcquire flags a relock of a held mutex (guaranteed
+// self-deadlock: sync mutexes are not reentrant), a write/read
+// cross-acquisition of the same RWMutex, and a nested acquisition that
+// contradicts the declared //vbr:lockorder.
+func checkAcquire(pass *Pass, rank map[string]int, name string, f lockFact, op *mutexOp, reported map[token.Pos]bool) {
+	if reported[op.pos] {
+		return
+	}
+	if f.must[op.tok] {
+		reported[op.pos] = true
+		pass.Reportf(op.pos, "%s.%s in %s while %s is already held: guaranteed self-deadlock (sync mutexes are not reentrant)",
+			op.tok, op.name, name, op.tok)
+		return
+	}
+	// Write lock while the read side is held (or vice versa) on the
+	// same RWMutex is the same self-deadlock in different clothes.
+	other := op.tok + "[r]"
+	if strings.HasSuffix(op.tok, "[r]") {
+		other = strings.TrimSuffix(op.tok, "[r]")
+	}
+	if f.must[other] {
+		reported[op.pos] = true
+		pass.Reportf(op.pos, "%s.%s in %s while %s is held: an RWMutex cannot be acquired on both sides by one goroutine (self-deadlock)",
+			op.tok, op.name, name, other)
+		return
+	}
+	if rank == nil {
+		return
+	}
+	newRank, inOrder := rank[op.base]
+	heldSet := map[string]bool{}
+	for tok := range f.held {
+		heldSet[tok] = true
+	}
+	for tok := range f.cov {
+		heldSet[tok] = true
+	}
+	heldToks := make([]string, 0, len(heldSet))
+	for tok := range heldSet {
+		heldToks = append(heldToks, tok)
+	}
+	sort.Strings(heldToks)
+	for _, held := range heldToks {
+		if held == op.tok || held == other {
+			continue
+		}
+		heldBase := lastComponent(strings.TrimSuffix(held, "[r]"))
+		heldRank, heldInOrder := rank[heldBase]
+		switch {
+		case !inOrder:
+			reported[op.pos] = true
+			pass.Reportf(op.pos, "%s acquired in %s while holding %s, but %q is not in the package's //vbr:lockorder; add it to the declared order",
+				op.tok, name, held, op.base)
+			return
+		case heldInOrder && newRank <= heldRank:
+			reported[op.pos] = true
+			pass.Reportf(op.pos, "lock order violation in %s: %s (rank %d) acquired while holding %s (rank %d); the declared //vbr:lockorder requires the opposite nesting",
+				name, op.tok, newRank, held, heldRank)
+			return
+		}
+	}
+}

@@ -1,0 +1,85 @@
+// Package condsync is a condguard fixture exercising the sync.Cond
+// protocol: Wait outside a loop, Wait and Signal without the
+// associated mutex, and the canonical guarded queue that must stay
+// clean.
+package condsync
+
+import "sync"
+
+// Q is a tiny condition-guarded counter queue.
+type Q struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	n    int
+}
+
+// NewQ builds the queue and associates cond with mu.
+func NewQ() *Q {
+	q := &Q{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// IfWait re-checks the predicate with an if: a spurious or stolen
+// wakeup slips straight past it.
+func (q *Q) IfWait() {
+	q.mu.Lock()
+	if q.n == 0 {
+		q.cond.Wait() // want condguard "not inside a for loop"
+	}
+	q.n--
+	q.mu.Unlock()
+}
+
+// UnlockedWait calls Wait without the mutex: Wait's internal unlock
+// panics, and the predicate read is a race.
+func (q *Q) UnlockedWait() {
+	for q.n == 0 {
+		q.cond.Wait() // want condguard "without definitely holding mu"
+	}
+}
+
+// UnlockedSignal wakes waiters without holding the mutex the
+// predicate they will re-check is guarded by.
+func (q *Q) UnlockedSignal() {
+	q.cond.Signal() // want condguard "without definitely holding mu"
+}
+
+// ReleasedTooSoon holds the mutex on only one path to Broadcast, so
+// "definitely held" fails at the join.
+func (q *Q) ReleasedTooSoon(flush bool) {
+	q.mu.Lock()
+	q.n = 0
+	if flush {
+		q.mu.Unlock()
+	}
+	q.cond.Broadcast() // want condguard "without definitely holding mu"
+	if !flush {
+		q.mu.Unlock()
+	}
+}
+
+// Take is the canonical clean consumer: Wait in a for loop under the
+// associated mutex.
+func (q *Q) Take() {
+	q.mu.Lock()
+	for q.n == 0 {
+		q.cond.Wait()
+	}
+	q.n--
+	q.mu.Unlock()
+}
+
+// Put is the canonical clean producer: Signal under the mutex.
+func (q *Q) Put() {
+	q.mu.Lock()
+	q.n++
+	q.cond.Signal()
+	q.mu.Unlock()
+}
+
+// External participates in a protocol where the caller holds the
+// mutex; the directive records the exception.
+func (q *Q) External() {
+	q.cond.Broadcast() //vbr:allow condguard caller holds mu across this broadcast
+}

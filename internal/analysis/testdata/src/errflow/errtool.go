@@ -1,0 +1,109 @@
+// Command errtool is an errflow fixture exercising dropped error
+// results: overwrites before any check, branch-dependent drops, bare
+// discarding call statements, and the checked/explicit/suppressed
+// shapes that must stay clean.
+package main
+
+import "errors"
+
+func work() error { return nil }
+
+func step() (int, error) { return 0, nil }
+
+func wrap(err error) error {
+	if err == nil {
+		return nil
+	}
+	return errors.New("wrapped: " + err.Error())
+}
+
+// Overwrite loses step one's error: the multi-assign reuses err while
+// it is still unchecked.
+func Overwrite() error {
+	a, err := step() // want errflow "dropped on some path"
+	b, err := step()
+	return wrap(errIfOdd(a + b + boolToInt(err != nil)))
+}
+
+// BranchDrop checks the error on one path and forgets it on the other.
+func BranchDrop(flag bool) error {
+	err := work() // want errflow "dropped on some path"
+	if flag {
+		return err
+	}
+	return nil
+}
+
+// NilOverwrite clobbers a pending error with nil, the classic
+// accidentally-cleared status variable.
+func NilOverwrite() error {
+	err := work() // want errflow "dropped on some path"
+	err = nil
+	return err
+}
+
+// BareCall drops the error at the call statement itself.
+func BareCall() {
+	work() // want errflow "silently discarded"
+}
+
+// Checked is the canonical clean shape.
+func Checked() error {
+	if err := work(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// WrapInPlace reads the pending error in the same statement that
+// redefines it, which is a use, not a drop.
+func WrapInPlace() error {
+	err := work()
+	err = wrap(err)
+	return err
+}
+
+// ExplicitDrop documents the discard with a blank assignment.
+func ExplicitDrop() {
+	_ = work()
+}
+
+// Suppressed records a deliberate best-effort call via the directive.
+func Suppressed() {
+	err := work() //vbr:allow errflow best-effort cleanup, failure is unobservable here
+	err = nil
+	_ = err
+}
+
+// ClosureEscape hands the error to a closure; intra-procedural
+// analysis cannot see the closure run, so the variable is untracked.
+func ClosureEscape() func() error {
+	err := work()
+	return func() error { return err }
+}
+
+func errIfOdd(n int) error {
+	if n%2 == 1 {
+		return errors.New("odd")
+	}
+	return nil
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func main() {
+	_ = Overwrite()
+	_ = BranchDrop(false)
+	_ = NilOverwrite()
+	BareCall()
+	_ = Checked()
+	_ = WrapInPlace()
+	ExplicitDrop()
+	Suppressed()
+	_ = ClosureEscape()
+}

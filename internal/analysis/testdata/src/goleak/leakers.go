@@ -1,0 +1,89 @@
+// Package leakers is a goleak fixture exercising goroutine and timer
+// lifetimes: unstoppable spin loops, discarded and never-stopped
+// time.AfterFunc timers, and the clean stop-channel and
+// captured-timer patterns.
+package leakers
+
+import "time"
+
+// W owns a heartbeat-style timer stopped through a local alias, the
+// farm's idiom for stopping a timer outside its mutex.
+type W struct {
+	hb     *time.Timer
+	orphan *time.Timer
+}
+
+// SpinForever starts a goroutine whose loop has no exit path at all.
+func SpinForever(tick chan int) {
+	go func() { // want goleak "can never exit"
+		for {
+			<-tick
+		}
+	}()
+}
+
+// DropTimer discards the *time.Timer, so nothing can ever stop it.
+func DropTimer(fire func()) {
+	time.AfterFunc(time.Second, fire) // want goleak "discarded"
+}
+
+// ArmOrphan stores a timer nothing in the package ever stops.
+func (w *W) ArmOrphan(fire func()) {
+	w.orphan = time.AfterFunc(time.Second, fire) // want goleak "never stopped"
+}
+
+// DrainUntilClosed is the clean shape: ranging over a channel exits
+// when the producer closes it.
+func DrainUntilClosed(jobs chan int) {
+	go func() {
+		for j := range jobs {
+			_ = j
+		}
+	}()
+}
+
+// StopFlagged exits its loop through a stop-channel select arm.
+func StopFlagged(stop chan struct{}, jobs chan int) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case j := <-jobs:
+				_ = j
+			}
+		}
+	}()
+}
+
+// Arm captures the heartbeat timer; Halt stops it via a local alias,
+// which must satisfy the package-wide stop scan.
+func (w *W) Arm(fire func()) {
+	w.hb = time.AfterFunc(time.Second, fire)
+}
+
+// Halt stops the heartbeat through the aliasing idiom.
+func (w *W) Halt() {
+	t := w.hb
+	if t != nil {
+		t.Stop()
+	}
+}
+
+// SleepBounded arms and defers the stop in one scope, the sleepCtx
+// pattern.
+func SleepBounded(fire func()) {
+	t := time.AfterFunc(time.Second, fire)
+	defer t.Stop()
+	fire()
+}
+
+// Daemon runs for the whole process lifetime by design; the directive
+// records the decision.
+func Daemon(tick chan int) {
+	go func() { //vbr:allow goleak process-lifetime daemon, reaped at exit
+		for {
+			<-tick
+		}
+	}()
+}

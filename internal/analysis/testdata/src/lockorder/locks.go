@@ -1,0 +1,111 @@
+// Package locks is a lockorder fixture exercising mutex discipline:
+// leaked acquisitions, relock self-deadlocks, RWMutex side crossings,
+// declared-order violations, and the clean defer/all-paths patterns.
+package locks
+
+import "sync"
+
+//vbr:lockorder mu leaseMu
+
+// S bundles the fixture's locks, mirroring the farm server shape.
+type S struct {
+	mu      sync.Mutex
+	leaseMu sync.Mutex
+	otherMu sync.Mutex
+	rw      sync.RWMutex
+	n       int
+}
+
+// LeakOnErr forgets the unlock on the early-return path.
+func (s *S) LeakOnErr(ok bool) {
+	s.mu.Lock() // want lockorder "may still be held at return"
+	if !ok {
+		return
+	}
+	s.mu.Unlock()
+}
+
+// Relock deadlocks against itself: sync mutexes are not reentrant.
+func (s *S) Relock() {
+	s.mu.Lock()
+	s.mu.Lock() // want lockorder "self-deadlock"
+	s.mu.Unlock()
+}
+
+// UnlockCold releases a mutex no path of the function acquired.
+func (s *S) UnlockCold() {
+	s.mu.Unlock() // want lockorder "no path through this function holds"
+}
+
+// WrongOrder nests mu inside leaseMu; the declared order says mu first.
+func (s *S) WrongOrder() {
+	s.leaseMu.Lock()
+	s.mu.Lock() // want lockorder "lock order violation"
+	s.mu.Unlock()
+	s.leaseMu.Unlock()
+}
+
+// Undeclared nests a mutex the //vbr:lockorder never mentions.
+func (s *S) Undeclared() {
+	s.mu.Lock()
+	s.otherMu.Lock() // want lockorder "not in the package's //vbr:lockorder"
+	s.otherMu.Unlock()
+	s.mu.Unlock()
+}
+
+// CrossSides upgrades a read lock in place, which self-deadlocks.
+func (s *S) CrossSides() {
+	s.rw.RLock()
+	s.rw.Lock() // want lockorder "both sides"
+	s.rw.Unlock()
+	s.rw.RUnlock()
+}
+
+// DeferClean is the canonical safe shape: defer covers every path,
+// including the early return.
+func (s *S) DeferClean(ok bool) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	s.n++
+	return s.n
+}
+
+// BranchClean releases explicitly on both paths.
+func (s *S) BranchClean(ok bool) {
+	s.mu.Lock()
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	s.n++
+	s.mu.Unlock()
+}
+
+// NestedClean takes both locks in the declared order.
+func (s *S) NestedClean() {
+	s.mu.Lock()
+	s.leaseMu.Lock()
+	s.n++
+	s.leaseMu.Unlock()
+	s.mu.Unlock()
+}
+
+// CallerHeld releases a lock its caller acquired; the directive keeps
+// the deliberate exception out of the findings.
+func (s *S) CallerHeld() {
+	s.n++
+	s.mu.Unlock() //vbr:allow lockorder caller acquires mu and delegates the release here
+}
+
+// LoopClean locks and unlocks inside a loop body; the back edge must
+// not look like a leaked acquisition.
+func (s *S) LoopClean(rounds int) {
+	for i := 0; i < rounds; i++ {
+		s.mu.Lock()
+		s.n++
+		s.mu.Unlock()
+	}
+}

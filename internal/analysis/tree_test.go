@@ -9,9 +9,24 @@ import (
 // shipped tree must stay finding-free (deliberate exceptions carry
 // //vbr:allow directives, and unused directives are findings too).
 // This is the same gate CI applies via `go run ./cmd/vbrlint ./...`.
+// The run must cover all nine analyzers — a suite that silently lost
+// a registration would pass vacuously, so the roster is pinned here.
 func TestShippedTreeClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	wantSuite := []string{
+		"determinism", "hotalloc", "nilguard", "exitcode", "doccheck",
+		"lockorder", "condguard", "goleak", "errflow",
+	}
+	suite := Analyzers()
+	if len(suite) != len(wantSuite) {
+		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(wantSuite))
+	}
+	for i, name := range wantSuite {
+		if suite[i].Name != name {
+			t.Fatalf("suite[%d] = %s, want %s", i, suite[i].Name, name)
+		}
 	}
 	root, err := filepath.Abs(filepath.Join("..", ".."))
 	if err != nil {

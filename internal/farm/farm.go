@@ -14,6 +14,15 @@
 // the journal.
 package farm
 
+// The package's mutex acquisition order, enforced by vbrlint's
+// lockorder analyzer. The locks are deliberately never nested today
+// (every helper releases one before taking the next); the declared
+// order is the contract new code must follow if it ever has to hold
+// two at once: server/pool/cache/metrics "mu" first, then the lease
+// table's leaseMu, then a worker's heartbeat hbMu.
+//
+//vbr:lockorder mu leaseMu hbMu
+
 import (
 	"fmt"
 

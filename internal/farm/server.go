@@ -226,7 +226,7 @@ func NewServerWith(dir string, opt ServerOptions, tr *trace.Tracer) (*Server, er
 	}
 	jobs, err := par.OpenJournal(filepath.Join(dir, "jobs.jsonl"), cachekey.Version())
 	if err != nil {
-		cache.Close()
+		_ = cache.Close() // the journal error is the one worth reporting
 		return nil, err
 	}
 	s := &Server{
@@ -398,7 +398,8 @@ func (s *Server) completeLocked(j *job) {
 // across processes, so a cell always lands on the same home shard.
 func shardOf(key string, shards int) int {
 	h := fnv.New32a()
-	h.Write([]byte(key))
+	_, _ = h.Write([]byte(key)) // hash.Hash.Write never returns an error
+
 	return int(h.Sum32() % uint32(shards))
 }
 

@@ -110,21 +110,21 @@ func OpenJournal(path, fingerprint string) (*Journal, error) {
 	}
 	j.f = f
 	if err := f.Truncate(validLen); err != nil {
-		f.Close()
+		_ = f.Close() // the write/truncate error is the one worth reporting
 		return nil, err
 	}
 	if _, err := f.Seek(validLen, 0); err != nil {
-		f.Close()
+		_ = f.Close() // the write/truncate error is the one worth reporting
 		return nil, err
 	}
 	if validLen == 0 {
 		hdr, _ := json.Marshal(journalHeader{Fingerprint: fingerprint})
 		if _, err := f.Write(append(hdr, '\n')); err != nil {
-			f.Close()
+			_ = f.Close() // the write/truncate error is the one worth reporting
 			return nil, &JournalError{Path: path, Op: "append", Err: err}
 		}
 		if err := f.Sync(); err != nil {
-			f.Close()
+			_ = f.Close() // the write/truncate error is the one worth reporting
 			return nil, &JournalError{Path: path, Op: "fsync", Err: err}
 		}
 	}

@@ -7,6 +7,12 @@
 // deterministic.
 package par
 
+// Mutex acquisition order for vbrlint's lockorder analyzer: the
+// journal's mu (and RunSafe's panic-collection mu) stand alone and
+// must never nest.
+//
+//vbr:lockorder mu
+
 import (
 	"runtime"
 	"sync"
